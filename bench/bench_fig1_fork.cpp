@@ -1,0 +1,108 @@
+// E2 — Figure 1: the fork for w = hAhAhHAAH with concurrent honest leaders.
+// Reconstructs the figure's fork (label multiset {1,2,2,3,4,4,4,5,6,6,7,8,9,9}
+// and every property its caption states), prints it, and reports the
+// fork-framework quantities the paper reads off it. Micro-benchmarks cover
+// the fork primitives the whole analysis rests on.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chars/bernoulli.hpp"
+#include "core/astar.hpp"
+#include "fork/ascii.hpp"
+#include "fork/margin.hpp"
+#include "fork/reach.hpp"
+#include "fork/validate.hpp"
+
+namespace {
+
+struct Fig1 {
+  mh::CharString w = mh::CharString::parse("hAhAhHAAH");
+  mh::Fork fork;
+  Fig1() {
+    using mh::kRoot;
+    const auto v1 = fork.add_vertex(kRoot, 1);
+    const auto a2a = fork.add_vertex(v1, 2);
+    const auto a2b = fork.add_vertex(kRoot, 2);
+    const auto v3 = fork.add_vertex(a2b, 3);
+    const auto a4a = fork.add_vertex(a2a, 4);
+    fork.add_vertex(kRoot, 4);
+    fork.add_vertex(a2b, 4);
+    const auto v5 = fork.add_vertex(v3, 5);
+    const auto v6a = fork.add_vertex(v5, 6);
+    const auto v6b = fork.add_vertex(a4a, 6);
+    const auto a7 = fork.add_vertex(v6a, 7);
+    const auto a8 = fork.add_vertex(v6b, 8);
+    fork.add_vertex(a7, 9);
+    fork.add_vertex(a8, 9);
+  }
+};
+
+void print_figure1() {
+  Fig1 fig;
+  std::printf("Figure 1: a fork F |- w for w = %s\n\n%s\n", fig.w.to_string().c_str(),
+              mh::render_ascii(fig.fork, fig.w).c_str());
+  const auto validation = mh::validate_fork(fig.fork, fig.w);
+  std::printf("axioms (F1)-(F4) hold: %s\n", validation.ok ? "yes" : validation.message.c_str());
+  std::printf("vertices labeled 6 (concurrent honest leaders): %zu\n",
+              fig.fork.vertices_with_label(6).size());
+  std::printf("vertices labeled 9 (concurrent honest leaders): %zu\n",
+              fig.fork.vertices_with_label(9).size());
+  std::printf("maximum-length tines: %zu (paper: multiple disjoint)\n",
+              fig.fork.longest_tines().size());
+  std::printf("rho(F) = %lld   margin mu(F) = %lld\n",
+              static_cast<long long>(mh::max_reach(fig.fork, fig.w)),
+              static_cast<long long>(mh::margin(fig.fork, fig.w)));
+  std::printf("\nper-prefix relative margins mu_x(F):\n  x_len :");
+  for (std::size_t x = 0; x <= fig.w.size(); ++x) std::printf(" %4zu", x);
+  std::printf("\n  mu    :");
+  for (std::size_t x = 0; x <= fig.w.size(); ++x)
+    std::printf(" %4lld", static_cast<long long>(mh::relative_margin(fig.fork, fig.w, x)));
+  std::printf("\n\n");
+}
+
+void BM_ForkConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    Fig1 fig;
+    benchmark::DoNotOptimize(fig.fork.height());
+  }
+}
+BENCHMARK(BM_ForkConstruction);
+
+void BM_ForkValidation(benchmark::State& state) {
+  Fig1 fig;
+  for (auto _ : state) benchmark::DoNotOptimize(mh::validate_fork(fig.fork, fig.w).ok);
+}
+BENCHMARK(BM_ForkValidation);
+
+void BM_RelativeMarginLinearPass(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mh::Rng rng(1);
+  const mh::SymbolLaw law = mh::bernoulli_condition(0.3, 0.3);
+  const mh::CharString w = law.sample_string(n, rng);
+  const mh::Fork fork = mh::build_canonical_fork(w);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mh::relative_margin(fork, w, n / 2));
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_RelativeMarginLinearPass)->Arg(64)->Arg(256)->Arg(1024)->Complexity();
+
+void BM_StructuralMarginBruteforce(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mh::Rng rng(1);
+  const mh::SymbolLaw law = mh::bernoulli_condition(0.3, 0.3);
+  const mh::CharString w = law.sample_string(n, rng);
+  const mh::Fork fork = mh::build_canonical_fork(w);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mh::relative_margin_bruteforce(fork, w, n / 2));
+}
+BENCHMARK(BM_StructuralMarginBruteforce)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figure1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,100 @@
+// E3 — Figures 2 and 3: balanced and x-balanced forks, plus the Fact-6 sweep
+// that ties settlement violations to balanced-fork existence:
+//
+//     an x-balanced fork for xy exists   <=>   mu_x(y) >= 0.
+//
+// The sweep measures, per string length, how often random strings admit a
+// balanced fork and verifies the constructive extension on every positive
+// margin (who wins: the adversary exactly when the recurrence is >= 0).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chars/bernoulli.hpp"
+#include "core/astar.hpp"
+#include "core/relative_margin.hpp"
+#include "fork/ascii.hpp"
+#include "fork/balanced.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void print_figures() {
+  {
+    mh::Fork fork;
+    const auto h1 = fork.add_vertex(mh::kRoot, 1);
+    const auto h3 = fork.add_vertex(h1, 3);
+    fork.add_vertex(h3, 5);
+    const auto a2 = fork.add_vertex(mh::kRoot, 2);
+    const auto a4 = fork.add_vertex(a2, 4);
+    fork.add_vertex(a4, 6);
+    const mh::CharString w = mh::CharString::parse("hAhAhA");
+    std::printf("Figure 2: a balanced fork for w = hAhAhA\n\n%s\nbalanced: %s\n\n",
+                mh::render_ascii(fork, w).c_str(),
+                mh::is_balanced(fork, w) ? "yes" : "no");
+  }
+  {
+    mh::Fork fork;
+    const auto h1 = fork.add_vertex(mh::kRoot, 1);
+    const auto h2 = fork.add_vertex(h1, 2);
+    const auto h3 = fork.add_vertex(h2, 3);
+    fork.add_vertex(h3, 5);
+    const auto a4 = fork.add_vertex(h2, 4);
+    fork.add_vertex(a4, 6);
+    const mh::CharString w = mh::CharString::parse("hhhAhA");
+    std::printf("Figure 3: an x-balanced fork for w = hhhAhA, x = hh\n\n%s\n",
+                mh::render_ascii(fork, w).c_str());
+    std::printf("x-balanced (x = hh): %s;  balanced over the whole string: %s\n\n",
+                mh::is_x_balanced(fork, w, 2) ? "yes" : "no",
+                mh::is_balanced(fork, w) ? "yes" : "no");
+  }
+}
+
+void fact6_sweep() {
+  std::printf("Fact 6 sweep: balanced-fork existence vs sign of mu_x(y)\n");
+  std::printf("(random strings, eps = 0.3, ph = 0.3; x_len = n/2)\n\n");
+  mh::TextTable table({"n", "trials", "mu>=0 (freq)", "constructive agreement"});
+  const mh::SymbolLaw law = mh::bernoulli_condition(0.3, 0.3);
+  mh::Rng rng(20200730);
+  for (std::size_t n : {8u, 16u, 24u, 32u, 48u}) {
+    const int trials = 400;
+    int balanced_count = 0;
+    int agreement = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const mh::CharString w = law.sample_string(n, rng);
+      const std::size_t x_len = n / 2;
+      const bool margin_ok = mh::relative_margin_recurrence(w, x_len) >= 0;
+      const mh::Fork fork = mh::build_canonical_fork(w);
+      const auto extended = mh::extend_to_x_balanced(fork, w, x_len);
+      if (margin_ok) ++balanced_count;
+      if (extended.has_value() == margin_ok) ++agreement;
+    }
+    table.add_row({std::to_string(n), std::to_string(trials),
+                   mh::fixed(static_cast<double>(balanced_count) / trials, 3),
+                   std::to_string(agreement) + "/" + std::to_string(trials)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_BalancedExtension(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mh::Rng rng(7);
+  const mh::SymbolLaw law = mh::bernoulli_condition(0.3, 0.3);
+  const mh::CharString w = law.sample_string(n, rng);
+  const mh::Fork fork = mh::build_canonical_fork(w);
+  for (auto _ : state) {
+    auto result = mh::extend_to_x_balanced(fork, w, n / 2);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_BalancedExtension)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_figures();
+  fact6_sweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

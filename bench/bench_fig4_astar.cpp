@@ -1,0 +1,79 @@
+// E4 — Figure 4: the optimal online adversary A*. Verifies Theorem 6
+// (canonicity: the built fork attains rho(w) and every relative margin
+// mu_x(y) simultaneously) on random strings across the parameter grid, then
+// benchmarks the adversary's throughput as a function of the string length.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chars/bernoulli.hpp"
+#include "core/astar.hpp"
+#include "core/relative_margin.hpp"
+#include "fork/margin.hpp"
+#include "fork/reach.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+void canonicity_report() {
+  std::printf("Figure 4 / Theorem 6: A* builds canonical forks\n");
+  std::printf("(mu_x(F) must equal the Theorem-5 recurrence for EVERY prefix x)\n\n");
+  mh::TextTable table({"eps", "ph", "n", "trials", "prefixes checked", "mismatches"});
+  mh::Rng rng(8711);
+  struct Case {
+    double eps, ph;
+    std::size_t n;
+  };
+  for (const Case c : {Case{0.3, 0.3, 64}, Case{0.1, 0.1, 96}, Case{0.5, 0.25, 64},
+                       Case{0.2, 0.0, 80}, Case{0.05, 0.02, 128}}) {
+    const mh::SymbolLaw law = mh::bernoulli_condition(c.eps, c.ph);
+    const int trials = 25;
+    std::size_t checked = 0, mismatches = 0;
+    for (int trial = 0; trial < trials; ++trial) {
+      const mh::CharString w = law.sample_string(c.n, rng);
+      const mh::Fork fork = mh::build_canonical_fork(w);
+      if (mh::max_reach(fork, w) != mh::rho_of(w)) ++mismatches;
+      for (std::size_t x = 0; x <= w.size(); ++x) {
+        ++checked;
+        if (mh::relative_margin(fork, w, x) != mh::relative_margin_recurrence(w, x))
+          ++mismatches;
+      }
+    }
+    table.add_row({mh::fixed(c.eps, 2), mh::fixed(c.ph, 2), std::to_string(c.n),
+                   std::to_string(trials), std::to_string(checked),
+                   std::to_string(mismatches)});
+  }
+  std::printf("%s\n", table.render().c_str());
+}
+
+void BM_AStarBuild(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mh::SymbolLaw law = mh::bernoulli_condition(0.3, 0.3);
+  mh::Rng rng(42);
+  const mh::CharString w = law.sample_string(n, rng);
+  for (auto _ : state) {
+    const mh::Fork fork = mh::build_canonical_fork(w);
+    benchmark::DoNotOptimize(fork.vertex_count());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_AStarBuild)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Complexity();
+
+void BM_MarginRecurrenceStream(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const mh::SymbolLaw law = mh::bernoulli_condition(0.3, 0.3);
+  mh::Rng rng(43);
+  const mh::CharString w = law.sample_string(n, rng);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(mh::relative_margin_recurrence(w, n / 2));
+}
+BENCHMARK(BM_MarginRecurrenceStream)->Arg(1024)->Arg(65536);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  canonicity_report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

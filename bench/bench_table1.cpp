@@ -1,0 +1,66 @@
+// E1 — Table 1: exact probabilities of k-settlement violations where the
+// symbols are i.i.d. with Pr[A] = alpha and Pr[h] = ratio * (1 - alpha).
+// Regenerates every cell of the paper's Table 1 (alpha columns, ratio blocks,
+// k rows) with the Section-6.6 dynamic program seeded by X_inf (|x| -> inf).
+//
+// Expected correspondence: identical digits for k <= 400; the paper's k = 500
+// row deviates from its own geometric trend (see EXPERIMENTS.md).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "chars/bernoulli.hpp"
+#include "core/exact_dp.hpp"
+#include "support/table.hpp"
+
+namespace {
+
+constexpr double kAlphas[] = {0.01, 0.10, 0.20, 0.30, 0.40, 0.49};
+constexpr double kRatios[] = {1.0, 0.9, 0.8, 0.5, 0.25, 0.01};
+constexpr std::size_t kDepths[] = {100, 200, 300, 400, 500};
+
+void print_table1() {
+  std::printf(
+      "Table 1: exact probabilities of k-settlement violations\n"
+      "(i.i.d. symbols, Pr[A] = alpha, Pr[h] = ratio * (1 - alpha), |x| -> infinity)\n\n");
+  for (double ratio : kRatios) {
+    std::printf("Pr[h]/(1-alpha) = %.2f\n", ratio);
+    std::vector<std::string> header{"k \\ alpha"};
+    for (double alpha : kAlphas) header.push_back(mh::fixed(alpha, 2));
+    mh::TextTable table(header);
+
+    // One DP pass per (alpha, ratio) yields the entire k-series.
+    std::vector<mh::SettlementSeries> series;
+    series.reserve(std::size(kAlphas));
+    for (double alpha : kAlphas)
+      series.push_back(mh::exact_settlement_series(mh::table1_law(alpha, ratio), 500));
+
+    for (std::size_t k : kDepths) {
+      std::vector<std::string> row{std::to_string(k)};
+      for (std::size_t a = 0; a < std::size(kAlphas); ++a)
+        row.push_back(mh::paper_scientific(series[a].violation[k]));
+      table.add_row(std::move(row));
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+}
+
+void BM_ExactSettlementSeries(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const mh::SymbolLaw law = mh::table1_law(0.30, 0.5);
+  for (auto _ : state) {
+    const mh::SettlementSeries series = mh::exact_settlement_series(law, k);
+    benchmark::DoNotOptimize(series.violation.back());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(k));
+}
+BENCHMARK(BM_ExactSettlementSeries)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,52 @@
+// PoS network simulation: run the full protocol substrate — leader schedule,
+// honest nodes, rushing-adversary network — under a balance attacker, and
+// watch the two maximal chains live and die slot by slot.
+//
+//   ./pos_network_sim [horizon [pA [pH [seed]]]]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/relative_margin.hpp"
+#include "protocol/adversary.hpp"
+#include "protocol/bridge.hpp"
+#include "fork/validate.hpp"
+
+int main(int argc, char** argv) {
+  const std::size_t horizon = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 40;
+  const double pA = argc > 2 ? std::atof(argv[2]) : 0.35;
+  const double pH = argc > 3 ? std::atof(argv[3]) : 0.40;
+  const std::uint64_t seed = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 2026;
+
+  mh::SymbolLaw law{1.0 - pA - pH, pH, pA};
+  law.validate();
+  mh::Rng rng(seed);
+  const mh::LeaderSchedule schedule =
+      mh::LeaderSchedule::from_symbol_law(law, horizon, 8, rng);
+  const mh::CharString w = schedule.characteristic_sync();
+
+  std::printf("schedule: %s\n", w.to_string().c_str());
+  std::printf("balance attacker vs 8 honest nodes, adversarial tie-breaking (axiom A0)\n\n");
+  std::printf("slot  sym  chain  margin  two-maximal-chains?\n");
+
+  mh::BalanceAttacker adversary;
+  mh::Simulation sim(schedule, mh::SimulationConfig{mh::TieBreak::AdversarialOrder, seed}, 0,
+                     &adversary);
+  for (std::size_t t = 1; t <= horizon; ++t) {
+    sim.run_until(t);
+    std::size_t best = 0;
+    for (const mh::HonestNode& node : sim.nodes())
+      best = std::max(best, node.best_length());
+    const std::int64_t mu = mh::relative_margin_recurrence(w.prefix(t), 0);
+    std::printf("%4zu   %c   %5zu  %6lld  %s\n", t, mh::to_char(w.at(t)), best,
+                static_cast<long long>(mu),
+                sim.observed_settlement_violation(1) ? "YES (slot 1 unsettled)" : "no");
+  }
+
+  const mh::ExecutionFork ef = mh::fork_from_blocks(sim.all_blocks());
+  const auto validation = mh::validate_fork(ef.fork, w);
+  std::printf("\nexecution mapped onto the fork framework: %zu blocks, axioms %s\n",
+              sim.all_blocks().size(), validation.ok ? "(F1)-(F4) hold" : "VIOLATED");
+  std::printf("the margin column is the Theorem-5 recurrence: the attack can keep two\n");
+  std::printf("maximal chains alive exactly while it stays >= 0.\n");
+  return 0;
+}

@@ -1,0 +1,203 @@
+#include "core/exact_dp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mh {
+
+namespace {
+
+/// Dense joint law over (r, s) with r in [0, K+1], s in [-K, K+1].
+class StateGrid {
+ public:
+  explicit StateGrid(std::size_t k_max)
+      : k_(static_cast<std::ptrdiff_t>(k_max)),
+        rdim_(k_max + 2),
+        sdim_(2 * k_max + 2),
+        mass_(rdim_ * sdim_, 0.0L) {}
+
+  [[nodiscard]] long double& at(std::ptrdiff_t r, std::ptrdiff_t s) {
+    return mass_[static_cast<std::size_t>(r) * sdim_ + static_cast<std::size_t>(s + k_)];
+  }
+  [[nodiscard]] long double at(std::ptrdiff_t r, std::ptrdiff_t s) const {
+    return mass_[static_cast<std::size_t>(r) * sdim_ + static_cast<std::size_t>(s + k_)];
+  }
+
+  void clear() { std::fill(mass_.begin(), mass_.end(), 0.0L); }
+
+  [[nodiscard]] std::ptrdiff_t k() const noexcept { return k_; }
+
+ private:
+  std::ptrdiff_t k_;
+  std::size_t rdim_;
+  std::size_t sdim_;
+  std::vector<long double> mass_;
+};
+
+}  // namespace
+
+SettlementSeries exact_settlement_series(const SymbolLaw& law, std::size_t k_max,
+                                         const ReachPmf& initial) {
+  law.validate();
+  MH_REQUIRE(k_max >= 1);
+  MH_REQUIRE_MSG(initial.mass.size() >= k_max + 1, "initial reach law must cover r = 0..k_max");
+
+  const auto K = static_cast<std::ptrdiff_t>(k_max);
+  const auto pA = static_cast<long double>(law.pA);
+  const auto ph = static_cast<long double>(law.ph);
+  const auto pH = static_cast<long double>(law.pH);
+
+  StateGrid cur(k_max), nxt(k_max);
+  SettlementSeries series;
+  series.violation.assign(k_max + 1, 0.0L);
+
+  // Seed: s_0 = r_0 = rho(x). Mass with rho(x) > K can never reach mu < 0
+  // within the horizon: fold it into the always-violating sink exactly.
+  long double viol = initial.tail;
+  for (std::size_t r = k_max + 1; r < initial.mass.size(); ++r) viol += initial.mass[r];
+  for (std::ptrdiff_t r = 0; r <= K; ++r) cur.at(r, r) = initial.mass[static_cast<std::size_t>(r)];
+  long double safe = 0.0L;
+
+  for (std::ptrdiff_t t = 0; t <= K; ++t) {
+    // Report P(t): always-violating sink plus all live mass with mu >= 0.
+    long double p = viol;
+    const std::ptrdiff_t rcap_t = K - t + 1;
+    const std::ptrdiff_t srange_t = K - t;
+    for (std::ptrdiff_t r = 0; r <= rcap_t; ++r)
+      for (std::ptrdiff_t s = 0; s <= std::min(r, srange_t + 1); ++s) p += cur.at(r, s);
+    series.violation[static_cast<std::size_t>(t)] = p;
+    if (t == K) break;
+
+    // Transition to time t+1 with caps rcap' = K-t and live band |s'| <= K-t-1.
+    const std::ptrdiff_t rcap_next = K - t;
+    const std::ptrdiff_t sband_next = K - t - 1;
+    nxt.clear();
+    for (std::ptrdiff_t r = 0; r <= rcap_t; ++r) {
+      const std::ptrdiff_t s_hi = std::min(r, srange_t + 1);
+      for (std::ptrdiff_t s = -srange_t; s <= s_hi; ++s) {
+        const long double q = cur.at(r, s);
+        if (q == 0.0L) continue;
+
+        // b = A: both coordinates rise.
+        {
+          const std::ptrdiff_t s2 = s + 1;
+          if (s2 > sband_next)
+            viol += q * pA;
+          else
+            nxt.at(std::min(r + 1, rcap_next), s2) += q * pA;
+        }
+
+        // b honest: rho falls (clamped at 0); mu falls unless pinned at 0.
+        const std::ptrdiff_t r2 = r == 0 ? 0 : std::min(r - 1, rcap_next);
+        // b = h: pinned only when a spare tine exists (rho > 0).
+        {
+          const std::ptrdiff_t s2 = (s == 0 && r > 0) ? 0 : s - 1;
+          if (s2 < -sband_next)
+            safe += q * ph;
+          else
+            nxt.at(r2, s2) += q * ph;
+        }
+        // b = H: pinned whenever mu = 0 (concurrent honest leaders re-split).
+        {
+          const std::ptrdiff_t s2 = s == 0 ? 0 : s - 1;
+          if (s2 < -sband_next)
+            safe += q * pH;
+          else
+            nxt.at(r2, s2) += q * pH;
+        }
+      }
+    }
+    std::swap(cur, nxt);
+  }
+
+  series.always_violating = viol;
+  series.never_violating = safe;
+  return series;
+}
+
+SettlementSeries exact_settlement_series(const SymbolLaw& law, std::size_t k_max,
+                                         InitialReach init) {
+  if (init == InitialReach::Zero) {
+    ReachPmf zero;
+    zero.mass.assign(k_max + 1, 0.0L);
+    zero.mass[0] = 1.0L;
+    return exact_settlement_series(law, k_max, zero);
+  }
+  return exact_settlement_series(law, k_max, stationary_reach_distribution(law, k_max));
+}
+
+long double settlement_violation_probability(const SymbolLaw& law, std::size_t k,
+                                             InitialReach init) {
+  return exact_settlement_series(law, k, init).violation[k];
+}
+
+long double eventual_settlement_insecurity(const SymbolLaw& law, std::size_t k,
+                                           InitialReach init) {
+  law.validate();
+  MH_REQUIRE(k >= 1);
+  const auto K = static_cast<std::ptrdiff_t>(k);
+  const auto pA = static_cast<long double>(law.pA);
+  const auto ph = static_cast<long double>(law.ph);
+  const auto pH = static_cast<long double>(law.pH);
+  const long double beta = reach_beta(law);
+
+  const ReachPmf initial = init == InitialReach::Zero
+                               ? [&] {
+                                   ReachPmf zero;
+                                   zero.mass.assign(k + 1, 0.0L);
+                                   zero.mass[0] = 1.0L;
+                                   return zero;
+                                 }()
+                               : stationary_reach_distribution(law, k);
+
+  // Phase 1: exact joint evolution to step k. Unlike the fixed-horizon series
+  // there is NO safe sink — a deeply negative margin can still recover after
+  // step k — but the always-violating sink remains sound: mu > K - t at time
+  // t guarantees mu >= 0 at time k.
+  StateGrid cur(k), nxt(k);
+  long double viol = initial.tail;
+  for (std::size_t r = k + 1; r < initial.mass.size(); ++r) viol += initial.mass[r];
+  for (std::ptrdiff_t r = 0; r <= K; ++r) cur.at(r, r) = initial.mass[static_cast<std::size_t>(r)];
+
+  for (std::ptrdiff_t t = 0; t < K; ++t) {
+    const std::ptrdiff_t rcap_t = K - t + 1;
+    const std::ptrdiff_t rcap_next = K - t;
+    const std::ptrdiff_t viol_band = K - t - 1;
+    nxt.clear();
+    for (std::ptrdiff_t r = 0; r <= rcap_t; ++r) {
+      for (std::ptrdiff_t s = -t; s <= std::min(r, K - t); ++s) {
+        const long double q = cur.at(r, s);
+        if (q == 0.0L) continue;
+        {
+          const std::ptrdiff_t s2 = s + 1;
+          if (s2 > viol_band)
+            viol += q * pA;
+          else
+            nxt.at(std::min(r + 1, rcap_next), s2) += q * pA;
+        }
+        const std::ptrdiff_t r2 = r == 0 ? 0 : std::min(r - 1, rcap_next);
+        nxt.at(r2, (s == 0 && r > 0) ? 0 : s - 1) += q * ph;
+        nxt.at(r2, s == 0 ? 0 : s - 1) += q * pH;
+      }
+    }
+    std::swap(cur, nxt);
+  }
+
+  // Phase 2: at step k, mu >= 0 wins outright; mu = -m < 0 wins iff the bare
+  // walk ever climbs back to 0: probability beta^m.
+  long double total = viol;
+  std::vector<long double> beta_pow(static_cast<std::size_t>(K) + 1, 1.0L);
+  for (std::size_t m = 1; m <= static_cast<std::size_t>(K); ++m)
+    beta_pow[m] = beta_pow[m - 1] * beta;
+  for (std::ptrdiff_t r = 0; r <= K + 1; ++r)
+    for (std::ptrdiff_t s = -K; s <= std::min(r, K); ++s) {
+      const long double q = cur.at(r, s);
+      if (q == 0.0L) continue;
+      total += s >= 0 ? q : q * beta_pow[static_cast<std::size_t>(-s)];
+    }
+  return total;
+}
+
+}  // namespace mh

@@ -1,0 +1,49 @@
+#include "protocol/block.hpp"
+
+namespace mh {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t fnv_mix(std::uint64_t state, std::uint64_t word) {
+  for (int byte = 0; byte < 8; ++byte) {
+    state ^= (word >> (8 * byte)) & 0xffu;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+}  // namespace
+
+BlockHash block_hash(BlockHash parent, std::uint64_t slot, PartyId issuer,
+                     std::uint64_t payload) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv_mix(h, parent);
+  h = fnv_mix(h, slot);
+  h = fnv_mix(h, issuer);
+  h = fnv_mix(h, payload);
+  return h;
+}
+
+Block make_block(BlockHash parent, std::uint64_t slot, PartyId issuer, std::uint64_t payload) {
+  Block b;
+  b.parent = parent;
+  b.slot = slot;
+  b.issuer = issuer;
+  b.payload = payload;
+  b.hash = block_hash(parent, slot, issuer, payload);
+  return b;
+}
+
+const Block& genesis_block() {
+  static const Block genesis = make_block(0, 0, 0, 0x67656e65736973ULL /* "genesis" */);
+  return genesis;
+}
+
+bool verify_block_integrity(const Block& block) {
+  return block.hash == block_hash(block.parent, block.slot, block.issuer, block.payload);
+}
+
+}  // namespace mh

@@ -1,0 +1,99 @@
+#include "protocol/blocktree.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mh {
+
+BlockTree::BlockTree() {
+  const Block& genesis = genesis_block();
+  blocks_.emplace(genesis.hash, Entry{genesis, 0, 0});
+  arrival_.push_back(genesis.hash);
+}
+
+bool BlockTree::add(const Block& block) {
+  if (blocks_.contains(block.hash)) return true;
+  if (!verify_block_integrity(block)) return false;
+  const auto parent = blocks_.find(block.parent);
+  if (parent == blocks_.end()) return false;
+  if (block.slot <= parent->second.block.slot) return false;
+
+  Entry entry{block, parent->second.length + 1, arrival_.size()};
+  best_length_ = std::max(best_length_, entry.length);
+  blocks_.emplace(block.hash, entry);
+  arrival_.push_back(block.hash);
+  return true;
+}
+
+bool BlockTree::contains(BlockHash hash) const { return blocks_.contains(hash); }
+
+const Block& BlockTree::block(BlockHash hash) const {
+  const auto it = blocks_.find(hash);
+  MH_REQUIRE_MSG(it != blocks_.end(), "unknown block");
+  return it->second.block;
+}
+
+std::size_t BlockTree::length(BlockHash hash) const {
+  const auto it = blocks_.find(hash);
+  MH_REQUIRE_MSG(it != blocks_.end(), "unknown block");
+  return it->second.length;
+}
+
+BlockHash BlockTree::best_head(TieBreak rule) const {
+  BlockHash best = genesis_block().hash;
+  std::size_t best_len = 0;
+  std::size_t best_arrival = 0;
+  std::uint64_t best_hash_key = genesis_block().hash;
+  for (BlockHash h : arrival_) {
+    const Entry& e = blocks_.at(h);
+    if (e.length < best_len) continue;
+    bool take = e.length > best_len;
+    if (!take && e.length == best_len) {
+      take = rule == TieBreak::AdversarialOrder ? e.arrival < best_arrival
+                                                : e.block.hash < best_hash_key;
+    }
+    if (take) {
+      best = h;
+      best_len = e.length;
+      best_arrival = e.arrival;
+      best_hash_key = e.block.hash;
+    }
+  }
+  return best;
+}
+
+std::vector<BlockHash> BlockTree::max_length_heads() const {
+  std::vector<BlockHash> out;
+  for (BlockHash h : arrival_)
+    if (blocks_.at(h).length == best_length_) out.push_back(h);
+  return out;
+}
+
+std::vector<BlockHash> BlockTree::chain(BlockHash head) const {
+  std::vector<BlockHash> out;
+  for (BlockHash h = head;; h = block(h).parent) {
+    out.push_back(h);
+    if (h == genesis_block().hash) break;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+BlockHash BlockTree::common_ancestor(BlockHash a, BlockHash b) const {
+  while (a != b) {
+    if (length(a) >= length(b))
+      a = block(a).parent;
+    else
+      b = block(b).parent;
+  }
+  return a;
+}
+
+std::optional<BlockHash> BlockTree::block_at_slot(BlockHash head, std::uint64_t slot) const {
+  for (BlockHash h = head; h != genesis_block().hash; h = block(h).parent)
+    if (block(h).slot <= slot) return h;
+  return std::nullopt;
+}
+
+}  // namespace mh

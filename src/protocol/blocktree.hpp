@@ -1,0 +1,71 @@
+// A party's local view of the block DAG (a tree, by the parent-hash links),
+// with longest-chain selection under the two tie-breaking regimes:
+//
+//   * AdversarialOrder (axiom A0): ties between maximum-length chains resolve
+//     by arrival order, which the rushing adversary controls per recipient;
+//   * ConsistentHash (axiom A0'): every honest party breaks ties by the
+//     minimal head hash, so identical views yield identical selections.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "protocol/block.hpp"
+
+namespace mh {
+
+enum class TieBreak { AdversarialOrder, ConsistentHash };
+
+class BlockTree {
+ public:
+  BlockTree();
+
+  /// Validates and inserts: parent must be known, slot strictly increasing,
+  /// header hash intact. Re-insertion of a known block is a no-op.
+  /// Returns false (and ignores the block) when invalid.
+  bool add(const Block& block);
+
+  [[nodiscard]] bool contains(BlockHash hash) const;
+  [[nodiscard]] const Block& block(BlockHash hash) const;
+  /// Chain length from genesis (genesis has length 0).
+  [[nodiscard]] std::size_t length(BlockHash hash) const;
+  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+
+  /// Longest-chain selection among all known heads per the tie-break rule.
+  [[nodiscard]] BlockHash best_head(TieBreak rule) const;
+  /// All maximum-length chain heads, in arrival order (the tie set the
+  /// adversary may order under axiom A0).
+  [[nodiscard]] std::vector<BlockHash> max_length_heads() const;
+  /// Length of the currently best chain.
+  [[nodiscard]] std::size_t best_length() const noexcept { return best_length_; }
+
+  /// Genesis-to-head block sequence (genesis included).
+  [[nodiscard]] std::vector<BlockHash> chain(BlockHash head) const;
+
+  /// Hash of the deepest common ancestor of two chains.
+  [[nodiscard]] BlockHash common_ancestor(BlockHash a, BlockHash b) const;
+
+  /// The block of the chain `head` with the largest slot <= s, if different
+  /// from genesis; used for settlement checks ("what does this chain say about
+  /// slot s?").
+  [[nodiscard]] std::optional<BlockHash> block_at_slot(BlockHash head, std::uint64_t slot) const;
+
+  /// All block hashes in arrival order (genesis first).
+  [[nodiscard]] const std::vector<BlockHash>& arrival_order() const noexcept {
+    return arrival_;
+  }
+
+ private:
+  struct Entry {
+    Block block;
+    std::size_t length = 0;
+    std::size_t arrival = 0;
+  };
+  std::unordered_map<BlockHash, Entry> blocks_;
+  std::vector<BlockHash> arrival_;
+  std::size_t best_length_ = 0;
+};
+
+}  // namespace mh

@@ -1,0 +1,151 @@
+#include "protocol/leader.hpp"
+
+#include <cmath>
+
+#include "support/check.hpp"
+
+namespace mh {
+
+LeaderSchedule::LeaderSchedule(std::vector<SlotLeaders> slots, std::size_t honest_parties)
+    : slots_(std::move(slots)), honest_parties_(honest_parties) {
+  MH_REQUIRE(honest_parties_ >= 1);
+}
+
+namespace {
+
+PartyId random_party(std::size_t honest_parties, Rng& rng) {
+  return static_cast<PartyId>(rng.below(honest_parties));
+}
+
+SlotLeaders materialize(TetraSymbol symbol, std::size_t honest_parties, Rng& rng) {
+  SlotLeaders leaders;
+  switch (symbol) {
+    case TetraSymbol::Bot: break;
+    case TetraSymbol::A: leaders.adversarial = true; break;
+    case TetraSymbol::h: leaders.honest.push_back(random_party(honest_parties, rng)); break;
+    case TetraSymbol::H: {
+      MH_REQUIRE_MSG(honest_parties >= 2, "an H slot needs two distinct honest parties");
+      const PartyId first = random_party(honest_parties, rng);
+      PartyId second = first;
+      while (second == first) second = random_party(honest_parties, rng);
+      leaders.honest.push_back(first);
+      leaders.honest.push_back(second);
+      break;
+    }
+  }
+  return leaders;
+}
+
+}  // namespace
+
+LeaderSchedule LeaderSchedule::from_symbol_law(const SymbolLaw& law, std::size_t horizon,
+                                               std::size_t honest_parties, Rng& rng) {
+  law.validate();
+  std::vector<SlotLeaders> slots;
+  slots.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const Symbol s = law.sample(rng);
+    const TetraSymbol tetra = s == Symbol::h   ? TetraSymbol::h
+                              : s == Symbol::H ? TetraSymbol::H
+                                               : TetraSymbol::A;
+    slots.push_back(materialize(tetra, honest_parties, rng));
+  }
+  return LeaderSchedule(std::move(slots), honest_parties);
+}
+
+LeaderSchedule LeaderSchedule::from_tetra_law(const TetraLaw& law, std::size_t horizon,
+                                              std::size_t honest_parties, Rng& rng) {
+  law.validate();
+  std::vector<SlotLeaders> slots;
+  slots.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t)
+    slots.push_back(materialize(law.sample(rng), honest_parties, rng));
+  return LeaderSchedule(std::move(slots), honest_parties);
+}
+
+LeaderSchedule LeaderSchedule::praos_lottery(double f, double adversarial_stake,
+                                             std::size_t honest_parties, std::size_t horizon,
+                                             Rng& rng) {
+  MH_REQUIRE(f > 0.0 && f < 1.0);
+  MH_REQUIRE(adversarial_stake >= 0.0 && adversarial_stake < 1.0);
+  MH_REQUIRE(honest_parties >= 2);
+  const double honest_share = (1.0 - adversarial_stake) / static_cast<double>(honest_parties);
+  const double p_honest = 1.0 - std::pow(1.0 - f, honest_share);
+  const double p_adv = 1.0 - std::pow(1.0 - f, adversarial_stake);
+
+  std::vector<SlotLeaders> slots;
+  slots.reserve(horizon);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    SlotLeaders leaders;
+    for (PartyId p = 0; p < honest_parties; ++p)
+      if (rng.bernoulli(p_honest)) leaders.honest.push_back(p);
+    leaders.adversarial = rng.bernoulli(p_adv);
+    slots.push_back(std::move(leaders));
+  }
+  return LeaderSchedule(std::move(slots), honest_parties);
+}
+
+TetraLaw LeaderSchedule::praos_induced_law(double f, double adversarial_stake,
+                                           std::size_t honest_parties) {
+  MH_REQUIRE(f > 0.0 && f < 1.0);
+  const double honest_share = (1.0 - adversarial_stake) / static_cast<double>(honest_parties);
+  const double p_honest = 1.0 - std::pow(1.0 - f, honest_share);
+  const double p_adv = 1.0 - std::pow(1.0 - f, adversarial_stake);
+  const double n = static_cast<double>(honest_parties);
+
+  const double no_honest = std::pow(1.0 - p_honest, n);
+  const double one_honest = n * p_honest * std::pow(1.0 - p_honest, n - 1.0);
+
+  TetraLaw law;
+  law.pA = p_adv;  // at least one adversarial leader, regardless of honest ones
+  law.pBot = (1.0 - p_adv) * no_honest;
+  law.ph = (1.0 - p_adv) * one_honest;
+  law.pH = (1.0 - p_adv) * (1.0 - no_honest - one_honest);
+  law.validate();
+  return law;
+}
+
+const SlotLeaders& LeaderSchedule::leaders(std::size_t slot) const {
+  MH_REQUIRE_MSG(slot >= 1 && slot <= slots_.size(), "slots are 1-indexed");
+  return slots_[slot - 1];
+}
+
+bool LeaderSchedule::eligible(PartyId party, std::size_t slot) const {
+  if (slot == 0) return false;  // genesis is not issued
+  if (slot > slots_.size()) return false;
+  const SlotLeaders& l = slots_[slot - 1];
+  if (party == kAdversary) return l.adversarial;
+  for (PartyId p : l.honest)
+    if (p == party) return true;
+  return false;
+}
+
+TetraString LeaderSchedule::characteristic() const {
+  TetraString out;
+  for (const SlotLeaders& l : slots_) {
+    if (l.adversarial)
+      out.push_back(TetraSymbol::A);
+    else if (l.honest.empty())
+      out.push_back(TetraSymbol::Bot);
+    else if (l.honest.size() == 1)
+      out.push_back(TetraSymbol::h);
+    else
+      out.push_back(TetraSymbol::H);
+  }
+  return out;
+}
+
+CharString LeaderSchedule::characteristic_sync() const {
+  CharString out;
+  for (const SlotLeaders& l : slots_) {
+    if (l.adversarial) {
+      out.push_back(Symbol::A);
+    } else {
+      MH_REQUIRE_MSG(!l.honest.empty(), "synchronous view requires no empty slots");
+      out.push_back(l.honest.size() == 1 ? Symbol::h : Symbol::H);
+    }
+  }
+  return out;
+}
+
+}  // namespace mh

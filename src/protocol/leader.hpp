@@ -1,0 +1,68 @@
+// Leader schedules. Two generation modes:
+//
+//   * symbol-level: draw a characteristic symbol per slot from a SymbolLaw /
+//     TetraLaw and materialize leaders (h -> one honest party, H -> several,
+//     A -> the adversarial coalition);
+//   * party-level: every party independently wins slot leadership with
+//     probability phi(stake) = 1 - (1 - f)^stake, the Praos VRF lottery. The
+//     induced (pBot, ph, pH, pA) law is computed analytically so experiments
+//     can compare the simulated protocol against the abstract analysis.
+//
+// A schedule is public (full-information model): the adversary reads it all.
+#pragma once
+
+#include <vector>
+
+#include "chars/bernoulli.hpp"
+#include "delta/semi_sync.hpp"
+#include "protocol/block.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+
+struct SlotLeaders {
+  std::vector<PartyId> honest;  ///< honest leaders of the slot (possibly several)
+  bool adversarial = false;     ///< the coalition holds at least one leadership
+};
+
+class LeaderSchedule {
+ public:
+  LeaderSchedule(std::vector<SlotLeaders> slots, std::size_t honest_parties);
+
+  /// Symbol-level generation: multiply honest slots elect exactly two distinct
+  /// honest parties (the minimal realization of H; more leaders only help the
+  /// adversary, cf. the settlement game granting A the choice of multiplicity).
+  static LeaderSchedule from_symbol_law(const SymbolLaw& law, std::size_t horizon,
+                                        std::size_t honest_parties, Rng& rng);
+  static LeaderSchedule from_tetra_law(const TetraLaw& law, std::size_t horizon,
+                                       std::size_t honest_parties, Rng& rng);
+
+  /// Party-level Praos lottery: `honest_parties` parties of equal relative
+  /// stake (1 - adversarial_stake) / honest_parties, plus one coalition with
+  /// `adversarial_stake`; per-slot win probability phi(s) = 1 - (1-f)^s.
+  static LeaderSchedule praos_lottery(double f, double adversarial_stake,
+                                      std::size_t honest_parties, std::size_t horizon,
+                                      Rng& rng);
+
+  /// The induced i.i.d. law of the Praos lottery above (analytic).
+  static TetraLaw praos_induced_law(double f, double adversarial_stake,
+                                    std::size_t honest_parties);
+
+  [[nodiscard]] std::size_t horizon() const noexcept { return slots_.size(); }
+  [[nodiscard]] std::size_t honest_parties() const noexcept { return honest_parties_; }
+  [[nodiscard]] const SlotLeaders& leaders(std::size_t slot) const;
+
+  /// Is `party` an eligible issuer for `slot`? (The simulated signature check.)
+  [[nodiscard]] bool eligible(PartyId party, std::size_t slot) const;
+
+  /// The characteristic string of the schedule (Definition 20 view).
+  [[nodiscard]] TetraString characteristic() const;
+  /// The synchronous {h,H,A} view; requires no empty slots.
+  [[nodiscard]] CharString characteristic_sync() const;
+
+ private:
+  std::vector<SlotLeaders> slots_;  // index 0 <-> slot 1
+  std::size_t honest_parties_;
+};
+
+}  // namespace mh

@@ -1,0 +1,47 @@
+#include "protocol/network.hpp"
+
+#include "support/check.hpp"
+
+namespace mh {
+
+Network::Network(std::size_t parties, std::size_t delta)
+    : parties_(parties), delta_(delta), queues_(parties) {
+  MH_REQUIRE(parties >= 1);
+}
+
+void Network::broadcast(const Block& block, std::size_t sent_slot,
+                        const std::vector<std::size_t>& per_recipient_delay) {
+  MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
+  for (PartyId r = 0; r < parties_; ++r) {
+    std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
+    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
+    queues_[r].push_back(Pending{block, sent_slot + 1 + delay});
+  }
+}
+
+void Network::inject(const Block& block, PartyId recipient, std::size_t visible_slot) {
+  MH_REQUIRE(recipient < parties_);
+  queues_[recipient].push_back(Pending{block, visible_slot});
+}
+
+void Network::inject_all(const Block& block, std::size_t visible_slot) {
+  for (PartyId r = 0; r < parties_; ++r) queues_[r].push_back(Pending{block, visible_slot});
+}
+
+std::vector<Block> Network::collect(PartyId recipient, std::size_t slot) {
+  MH_REQUIRE(recipient < parties_);
+  std::vector<Block> due;
+  auto& queue = queues_[recipient];
+  std::vector<Pending> keep;
+  keep.reserve(queue.size());
+  for (Pending& p : queue) {
+    if (p.due <= slot)
+      due.push_back(p.block);
+    else
+      keep.push_back(p);
+  }
+  queue.swap(keep);
+  return due;
+}
+
+}  // namespace mh

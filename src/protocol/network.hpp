@@ -1,0 +1,51 @@
+// The slot-synchronous network with a rushing adversary (axiom A0) and its
+// Delta-delay relaxation (axiom A4_Delta).
+//
+// Honest broadcasts in slot t are guaranteed to reach every party by the onset
+// of slot t + 1 + Delta; within that window the adversary picks the exact
+// per-recipient delivery slot, may inject its own blocks for any recipient at
+// any slot, and chooses the per-recipient ordering of each slot's deliveries
+// (the tie-breaking lever of the settlement game).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "protocol/block.hpp"
+
+namespace mh {
+
+class Network {
+ public:
+  Network(std::size_t parties, std::size_t delta);
+
+  [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
+  [[nodiscard]] std::size_t delta() const noexcept { return delta_; }
+
+  /// Honest broadcast at slot `sent_slot`; `delay[r]` in [0, delta] is the
+  /// adversary's extra hold-back for recipient r (empty = no extra delay).
+  void broadcast(const Block& block, std::size_t sent_slot,
+                 const std::vector<std::size_t>& per_recipient_delay = {});
+
+  /// Adversarial targeted injection, visible to `recipient` at `visible_slot`.
+  void inject(const Block& block, PartyId recipient, std::size_t visible_slot);
+
+  /// Adversarial injection to everyone at the given slot.
+  void inject_all(const Block& block, std::size_t visible_slot);
+
+  /// Deliveries for `recipient` due at the onset of `slot`, in the order they
+  /// were scheduled (the adversary schedules last-minute injections first or
+  /// last as it pleases by choosing insertion time).
+  [[nodiscard]] std::vector<Block> collect(PartyId recipient, std::size_t slot);
+
+ private:
+  struct Pending {
+    Block block;
+    std::size_t due;
+  };
+  std::size_t parties_;
+  std::size_t delta_;
+  std::vector<std::vector<Pending>> queues_;  // per recipient
+};
+
+}  // namespace mh

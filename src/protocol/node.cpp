@@ -1,0 +1,45 @@
+#include "protocol/node.hpp"
+
+#include "support/check.hpp"
+
+namespace mh {
+
+HonestNode::HonestNode(PartyId id, TieBreak rule, const LeaderSchedule* schedule)
+    : id_(id), rule_(rule), schedule_(schedule) {
+  MH_REQUIRE(schedule != nullptr);
+}
+
+void HonestNode::receive(const Block& block) {
+  if (!verify_block_integrity(block)) return;               // forged header
+  if (!schedule_->eligible(block.issuer, block.slot)) return;  // signature check
+  if (!tree_.add(block)) {
+    orphans_.push_back(block);  // parent not yet known; retry later
+    return;
+  }
+  flush_orphans();
+}
+
+void HonestNode::flush_orphans() {
+  bool progress = true;
+  while (progress && !orphans_.empty()) {
+    progress = false;
+    std::vector<Block> still;
+    still.reserve(orphans_.size());
+    for (const Block& b : orphans_) {
+      if (tree_.add(b))
+        progress = true;
+      else
+        still.push_back(b);
+    }
+    orphans_.swap(still);
+  }
+}
+
+BlockHash HonestNode::best_head() const { return tree_.best_head(rule_); }
+
+Block HonestNode::forge(std::size_t slot, std::uint64_t payload) const {
+  MH_REQUIRE_MSG(schedule_->eligible(id_, slot), "node is not a leader of this slot");
+  return make_block(best_head(), slot, id_, payload);
+}
+
+}  // namespace mh

@@ -1,0 +1,41 @@
+// An honest protocol participant: collects valid blocks, follows the
+// longest-chain rule under its tie-breaking regime, and forges exactly one
+// block whenever the schedule elects it.
+#pragma once
+
+#include "protocol/blocktree.hpp"
+#include "protocol/leader.hpp"
+
+namespace mh {
+
+class HonestNode {
+ public:
+  HonestNode(PartyId id, TieBreak rule, const LeaderSchedule* schedule);
+
+  [[nodiscard]] PartyId id() const noexcept { return id_; }
+
+  /// Validates issuance against the schedule (the "signature check") and adds
+  /// the block to the local view. Blocks whose parents are unknown are
+  /// buffered and retried (the adversary may deliver out of order).
+  void receive(const Block& block);
+
+  /// Current longest-chain head under this node's tie-break rule.
+  [[nodiscard]] BlockHash best_head() const;
+  [[nodiscard]] std::size_t best_length() const { return tree_.best_length(); }
+
+  /// Forge the slot's block on top of the current best chain.
+  [[nodiscard]] Block forge(std::size_t slot, std::uint64_t payload) const;
+
+  [[nodiscard]] const BlockTree& tree() const noexcept { return tree_; }
+
+ private:
+  PartyId id_;
+  TieBreak rule_;
+  const LeaderSchedule* schedule_;
+  BlockTree tree_;
+  std::vector<Block> orphans_;
+
+  void flush_orphans();
+};
+
+}  // namespace mh

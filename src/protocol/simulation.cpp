@@ -1,0 +1,197 @@
+#include "protocol/simulation.hpp"
+
+#include <algorithm>
+
+#include "support/check.hpp"
+
+namespace mh {
+
+Simulation::Simulation(const LeaderSchedule& schedule, SimulationConfig config,
+                       std::size_t delta, Adversary* adversary)
+    : schedule_(schedule),
+      config_(config),
+      network_(schedule.honest_parties(), delta),
+      adversary_(adversary),
+      rng_(config.seed) {
+  nodes_.reserve(schedule.honest_parties());
+  for (PartyId p = 0; p < schedule.honest_parties(); ++p)
+    nodes_.emplace_back(p, config.tie_break, &schedule_);
+  all_blocks_.push_back(genesis_block());
+  if (adversary_) adversary_->begin(*this);
+}
+
+void Simulation::run() { run_until(schedule_.horizon()); }
+
+void Simulation::run_until(std::size_t slot) {
+  MH_REQUIRE(slot <= schedule_.horizon());
+  while (next_slot_ <= slot) step();
+  // Axiom A0 delivers a slot's broadcasts before the slot concludes; flush
+  // everything already due at the upcoming onset so observations at the close
+  // of `slot` see its blocks. step() re-collects idempotently (queues drain).
+  deliver_due(next_slot_);
+  check_watches(next_slot_);
+}
+
+void Simulation::deliver_due(std::size_t slot) {
+  for (HonestNode& node : nodes_)
+    for (const Block& b : network_.collect(node.id(), slot)) {
+      node.receive(b);
+      if (node.tree().contains(b.hash)) public_tree_.add(b);
+    }
+}
+
+void Simulation::step() {
+  const std::size_t t = next_slot_++;
+
+  // 1. Deliveries due at the onset of slot t, then settlement observations.
+  deliver_due(t);
+  check_watches(t);
+
+  // 2. Adversarial action (minting / injection for this slot). Late
+  //    injections scheduled for slot t must still reach the leaders before
+  //    they forge (the adversary is rushing).
+  if (adversary_) {
+    adversary_->on_slot_begin(t, *this);
+    deliver_due(t);
+  }
+
+  // 3. Honest leaders forge concurrently: all choose parents before any new
+  //    slot-t block is visible to the others.
+  std::vector<Block> forged;
+  for (PartyId leader : schedule_.leaders(t).honest) {
+    HonestNode& node = nodes_[leader];
+    BlockHash parent = node.best_head();
+    if (config_.tie_break == TieBreak::AdversarialOrder && adversary_) {
+      const std::vector<BlockHash> ties = node.tree().max_length_heads();
+      if (ties.size() > 1) {
+        parent = adversary_->break_tie(leader, ties, *this);
+        MH_REQUIRE_MSG(std::find(ties.begin(), ties.end(), parent) != ties.end(),
+                       "adversary must pick one of the tied heads");
+      }
+    }
+    forged.push_back(make_block(parent, t, leader, rng_()));
+  }
+
+  // 4. Broadcast with adversary-chosen delays; record; leaders adopt their
+  //    own blocks immediately. Honest participants broadcast *chains* (the
+  //    model's messages are blockchains), so the ancestry ships along: the
+  //    adversary cannot orphan an honest block at a recipient by having
+  //    disclosed the parent only selectively.
+  for (const Block& block : forged) {
+    global_tree_.add(block);
+    public_tree_.add(block);
+    all_blocks_.push_back(block);
+    nodes_[block.issuer].receive(block);
+    std::vector<std::size_t> delays;
+    if (adversary_) delays = adversary_->delivery_delays(block, t, *this);
+    for (BlockHash h : global_tree_.chain(block.parent))
+      if (h != genesis_block().hash)
+        network_.broadcast(global_tree_.block(h), t, delays);
+    network_.broadcast(block, t, delays);
+  }
+}
+
+Block Simulation::mint_adversarial(BlockHash parent, std::size_t slot, std::uint64_t payload) {
+  MH_REQUIRE_MSG(schedule_.eligible(kAdversary, slot), "not an adversarial slot");
+  MH_REQUIRE_MSG(global_tree_.contains(parent), "unknown parent");
+  MH_REQUIRE_MSG(global_tree_.block(parent).slot < slot, "labels must increase along chains");
+  const Block block = make_block(parent, slot, kAdversary, payload);
+  global_tree_.add(block);
+  all_blocks_.push_back(block);
+  return block;
+}
+
+bool Simulation::observed_settlement_violation(std::size_t s) const {
+  const std::vector<BlockHash> heads = public_tree_.max_length_heads();
+  for (std::size_t a = 0; a < heads.size(); ++a)
+    for (std::size_t b = a + 1; b < heads.size(); ++b) {
+      const auto exact_at = [&](BlockHash head) -> std::optional<BlockHash> {
+        const auto deepest = public_tree_.block_at_slot(head, s);
+        if (deepest && public_tree_.block(*deepest).slot == s) return deepest;
+        return std::nullopt;
+      };
+      const auto sa = exact_at(heads[a]);
+      const auto sb = exact_at(heads[b]);
+      if (!sa && !sb) continue;  // both chains skip slot s: no disagreement
+      if (sa != sb) return true;
+    }
+  return false;
+}
+
+void Simulation::watch_settlement(std::size_t s, std::size_t k) {
+  MH_REQUIRE(s >= 1 && k >= 1);
+  watches_.push_back(Watch{s, k, false, 0, false});
+}
+
+bool Simulation::settlement_watch_violated(std::size_t s) const {
+  for (const Watch& watch : watches_)
+    if (watch.s == s) return watch.violated;
+  MH_REQUIRE_MSG(false, "no watch registered for this slot");
+  return false;
+}
+
+BlockHash Simulation::prefix_at(BlockHash head, std::size_t s) const {
+  const auto block = global_tree_.block_at_slot(head, s);
+  return block ? *block : genesis_block().hash;
+}
+
+void Simulation::check_watches(std::size_t onset_slot) {
+  if (watches_.empty()) return;
+  std::size_t best = 0;
+  for (const HonestNode& node : nodes_) best = std::max(best, node.best_length());
+
+  for (Watch& watch : watches_) {
+    if (watch.violated) continue;
+    // Observing the fork at the close of slot onset_slot - 1; the settlement
+    // game begins its checks at forks covering slot s + k.
+    if (onset_slot < watch.s + watch.k + 1) continue;
+    for (const HonestNode& node : nodes_) {
+      if (node.best_length() != best) continue;
+      const BlockHash prefix = prefix_at(node.best_head(), watch.s);
+      if (!watch.has_record) {
+        watch.has_record = true;
+        watch.recorded_prefix = prefix;
+      } else if (prefix != watch.recorded_prefix) {
+        watch.violated = true;  // reorg past depth k, or concurrent disagreement
+        break;
+      }
+    }
+  }
+}
+
+std::size_t Simulation::observed_slot_divergence() const {
+  std::size_t best = 0;
+  for (const HonestNode& n1 : nodes_)
+    for (const HonestNode& n2 : nodes_) {
+      const BlockHash h1 = n1.best_head();
+      const BlockHash h2 = n2.best_head();
+      const std::uint64_t l1 = global_tree_.block(h1).slot;
+      if (l1 > global_tree_.block(h2).slot) continue;
+      const BlockHash meet = global_tree_.common_ancestor(h1, h2);
+      best = std::max(best, static_cast<std::size_t>(l1 - global_tree_.block(meet).slot));
+    }
+  return best;
+}
+
+bool Simulation::observed_cp_slot_violation(std::size_t k) const {
+  for (const HonestNode& n1 : nodes_)
+    for (const HonestNode& n2 : nodes_) {
+      const BlockHash h1 = n1.best_head();
+      const BlockHash h2 = n2.best_head();
+      const std::uint64_t l1 = global_tree_.block(h1).slot;
+      if (l1 > global_tree_.block(h2).slot) continue;
+      if (l1 < k) continue;
+      const BlockHash meet = global_tree_.common_ancestor(h1, h2);
+      // The trimmed chain h1-floor-k ends at the deepest block of slot
+      // <= l1 - k; it is a prefix of h2 iff the meet lies at or below it.
+      const std::uint64_t cutoff = l1 - k;
+      BlockHash trimmed = h1;
+      while (trimmed != genesis_block().hash && global_tree_.block(trimmed).slot > cutoff)
+        trimmed = global_tree_.block(trimmed).parent;
+      const std::uint64_t meet_slot = global_tree_.block(meet).slot;
+      if (meet_slot < global_tree_.block(trimmed).slot) return true;
+    }
+  return false;
+}
+
+}  // namespace mh

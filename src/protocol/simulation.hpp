@@ -1,0 +1,125 @@
+// The protocol execution driver: slot loop, delivery, forging, adversarial
+// hooks, and the consistency measurements the benches report.
+//
+// Per slot t (matching Section 2's model):
+//   1. due messages are delivered to each honest node (adversary-ordered);
+//   2. the adversary acts (rushing: it has already seen everything broadcast
+//      in earlier slots, may mint on adversarial leaderships and inject);
+//   3. every honest leader of slot t forges one block on its best chain;
+//      under AdversarialOrder the adversary breaks maximum-length ties
+//      (axiom A0); under ConsistentHash the minimal head hash wins (A0');
+//   4. honest blocks are broadcast; the adversary picks per-recipient delays
+//      in [0, Delta] and observes the new blocks immediately.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "protocol/leader.hpp"
+#include "protocol/network.hpp"
+#include "protocol/node.hpp"
+
+namespace mh {
+
+class Simulation;
+
+/// Adversarial strategy interface. The default implementations are the
+/// "null" adversary: no minting, no delays, ties broken by arrival order.
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+  virtual void begin(Simulation&) {}
+  /// Start of slot t, after deliveries, before honest forging.
+  virtual void on_slot_begin(std::size_t, Simulation&) {}
+  /// Rushing observation of a slot-t honest block; returns per-recipient extra
+  /// delays in [0, Delta] (empty = deliver everywhere at t+1).
+  virtual std::vector<std::size_t> delivery_delays(const Block&, std::size_t, Simulation&) {
+    return {};
+  }
+  /// Axiom A0 tie-breaking: choose among the node's maximum-length heads
+  /// (given in arrival order).
+  virtual BlockHash break_tie(PartyId, const std::vector<BlockHash>& candidates, Simulation&) {
+    return candidates.front();
+  }
+};
+
+struct SimulationConfig {
+  TieBreak tie_break = TieBreak::AdversarialOrder;
+  std::uint64_t seed = 42;
+};
+
+class Simulation {
+ public:
+  /// `delta` is the network delay bound (0 = synchronous).
+  Simulation(const LeaderSchedule& schedule, SimulationConfig config, std::size_t delta,
+             Adversary* adversary);
+
+  void run();                          ///< all slots 1..horizon
+  void run_until(std::size_t slot);    ///< slots up to and including `slot`
+
+  [[nodiscard]] std::size_t current_slot() const noexcept { return next_slot_ - 1; }
+  [[nodiscard]] const LeaderSchedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] Network& network() noexcept { return network_; }
+  [[nodiscard]] const std::vector<HonestNode>& nodes() const noexcept { return nodes_; }
+  [[nodiscard]] TieBreak tie_break() const noexcept { return config_.tie_break; }
+
+  /// Adversarial minting on an eligible slot; the block is recorded but NOT
+  /// delivered (use network().inject*). The adversary can mint any number of
+  /// blocks per adversarial leadership, on any parent it has seen.
+  Block mint_adversarial(BlockHash parent, std::size_t slot, std::uint64_t payload);
+
+  /// The omniscient view: every block ever forged or minted.
+  [[nodiscard]] const BlockTree& global_tree() const noexcept { return global_tree_; }
+  [[nodiscard]] const std::vector<Block>& all_blocks() const noexcept { return all_blocks_; }
+
+  // --- consistency measurements -------------------------------------------
+
+  /// Definition 3 on the *public* fork (all blocks delivered to at least one
+  /// honest node): two maximum-length public chains diverging prior to slot s.
+  /// This is what the settlement game checks — either chain could be handed to
+  /// an honest observer by ordering deliveries.
+  [[nodiscard]] bool observed_settlement_violation(std::size_t s) const;
+
+  /// Register a settlement watch BEFORE running: from the first observation at
+  /// or after the close of slot s + k, remember the slot-s prefix adopted by
+  /// maximal honest chains; the watch fires if that prefix ever changes
+  /// (a reorg past the confirmation depth) or two maximal nodes disagree.
+  void watch_settlement(std::size_t s, std::size_t k);
+  [[nodiscard]] bool settlement_watch_violated(std::size_t s) const;
+
+  /// Largest depth-k common-prefix breach among honest chains: do two adopted
+  /// chains differ in a block at slot <= l(head) - k (k-CP^slot across nodes)?
+  [[nodiscard]] bool observed_cp_slot_violation(std::size_t k) const;
+
+  /// Max over pairs of honest chains of l(t1) - l(common ancestor).
+  [[nodiscard]] std::size_t observed_slot_divergence() const;
+
+ private:
+  void step();
+  void deliver_due(std::size_t slot);
+  void check_watches(std::size_t onset_slot);
+  /// The slot-s prefix (deepest block with slot <= s) of the chain at `head`.
+  [[nodiscard]] BlockHash prefix_at(BlockHash head, std::size_t s) const;
+
+  struct Watch {
+    std::size_t s = 0;
+    std::size_t k = 0;
+    bool has_record = false;
+    BlockHash recorded_prefix = 0;
+    bool violated = false;
+  };
+
+  const LeaderSchedule& schedule_;
+  SimulationConfig config_;
+  Network network_;
+  Adversary* adversary_;  // may be null
+  std::vector<HonestNode> nodes_;
+  BlockTree global_tree_;
+  BlockTree public_tree_;  ///< blocks delivered to at least one honest node
+  std::vector<Block> all_blocks_;
+  std::vector<Watch> watches_;
+  Rng rng_;
+  std::size_t next_slot_ = 1;
+};
+
+}  // namespace mh

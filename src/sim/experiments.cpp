@@ -1,0 +1,84 @@
+#include "sim/experiments.hpp"
+
+#include <memory>
+
+#include "support/check.hpp"
+
+namespace mh {
+
+namespace {
+
+std::unique_ptr<Adversary> make_adversary(AttackKind kind, std::size_t target_slot,
+                                          std::size_t k) {
+  switch (kind) {
+    case AttackKind::None: return nullptr;
+    case AttackKind::PrivateChain: return std::make_unique<PrivateChainAdversary>(target_slot, k);
+    case AttackKind::Balance: return std::make_unique<BalanceAttacker>();
+  }
+  return nullptr;
+}
+
+template <typename ScheduleFactory>
+ProtocolExperimentResult run_impl(ScheduleFactory&& make_schedule, AttackKind attack,
+                                  std::size_t target_slot, std::size_t k,
+                                  const ProtocolExperimentConfig& config) {
+  MH_REQUIRE(target_slot + k <= config.horizon);
+  Rng seeder(config.seed);
+  std::size_t settlement_hits = 0;
+  std::size_t cp_hits = 0;
+  RunningStats divergence;
+  RunningStats chain_length;
+
+  for (std::size_t run = 0; run < config.runs; ++run) {
+    Rng rng = seeder.split();
+    const LeaderSchedule schedule = make_schedule(rng);
+    const std::unique_ptr<Adversary> adversary = make_adversary(attack, target_slot, k);
+    SimulationConfig sim_config{config.tie_break, rng()};
+    Simulation sim(schedule, sim_config, config.delta, adversary.get());
+
+    // Game semantics: a violation at any observation >= target_slot + k
+    // counts (reorg watch), as does a standing public-fork tie at that close.
+    sim.watch_settlement(target_slot, k);
+    sim.run_until(target_slot + k);
+    const bool tied = sim.observed_settlement_violation(target_slot);
+    sim.run_until(config.horizon);
+    if (tied || sim.settlement_watch_violated(target_slot)) ++settlement_hits;
+    if (sim.observed_cp_slot_violation(k)) ++cp_hits;
+    divergence.add(static_cast<double>(sim.observed_slot_divergence()));
+    std::size_t best = 0;
+    for (const HonestNode& node : sim.nodes())
+      best = std::max(best, node.best_length());
+    chain_length.add(static_cast<double>(best));
+  }
+
+  ProtocolExperimentResult result;
+  result.settlement_violations = wilson_interval(settlement_hits, config.runs);
+  result.cp_violations = wilson_interval(cp_hits, config.runs);
+  result.mean_slot_divergence = divergence.mean();
+  result.mean_chain_length = chain_length.mean();
+  return result;
+}
+
+}  // namespace
+
+ProtocolExperimentResult run_protocol_experiment(const SymbolLaw& law, AttackKind attack,
+                                                 std::size_t target_slot, std::size_t k,
+                                                 const ProtocolExperimentConfig& config) {
+  return run_impl(
+      [&](Rng& rng) {
+        return LeaderSchedule::from_symbol_law(law, config.horizon, config.honest_parties, rng);
+      },
+      attack, target_slot, k, config);
+}
+
+ProtocolExperimentResult run_protocol_experiment_delta(const TetraLaw& law, AttackKind attack,
+                                                       std::size_t target_slot, std::size_t k,
+                                                       const ProtocolExperimentConfig& config) {
+  return run_impl(
+      [&](Rng& rng) {
+        return LeaderSchedule::from_tetra_law(law, config.horizon, config.honest_parties, rng);
+      },
+      attack, target_slot, k, config);
+}
+
+}  // namespace mh

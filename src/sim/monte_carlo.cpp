@@ -1,0 +1,133 @@
+#include "sim/monte_carlo.hpp"
+
+#include "core/catalan.hpp"
+#include "core/reach_distribution.hpp"
+#include "core/relative_margin.hpp"
+#include "delta/delta_settlement.hpp"
+#include "delta/reduction.hpp"
+
+namespace mh {
+
+namespace {
+
+std::int64_t sample_initial_reach(const SymbolLaw& law, Rng& rng) {
+  const double beta = static_cast<double>(reach_beta(law));
+  return static_cast<std::int64_t>(sample_geometric(rng, beta));
+}
+
+}  // namespace
+
+Proportion mc_settlement_violation(const SymbolLaw& law, std::size_t k, const McOptions& opt) {
+  law.validate();
+  Rng rng(opt.seed);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < opt.samples; ++i) {
+    MarginProcess p(sample_initial_reach(law, rng));
+    for (std::size_t t = 0; t < k; ++t) p.step(law.sample(rng));
+    if (p.mu() >= 0) ++hits;
+  }
+  return wilson_interval(hits, opt.samples);
+}
+
+Proportion mc_settlement_violation_eventual(const SymbolLaw& law, std::size_t k,
+                                            std::size_t extra, const McOptions& opt) {
+  law.validate();
+  Rng rng(opt.seed);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < opt.samples; ++i) {
+    MarginProcess p(sample_initial_reach(law, rng));
+    for (std::size_t t = 0; t < k; ++t) p.step(law.sample(rng));
+    bool violated = p.mu() >= 0;
+    for (std::size_t t = 0; t < extra && !violated; ++t) {
+      p.step(law.sample(rng));
+      violated = p.mu() >= 0;
+    }
+    if (violated) ++hits;
+  }
+  return wilson_interval(hits, opt.samples);
+}
+
+Proportion mc_no_unique_catalan(const SymbolLaw& law, std::size_t k, const McOptions& opt) {
+  law.validate();
+  Rng rng(opt.seed);
+  std::size_t misses = 0;
+  const std::size_t horizon = k + opt.horizon_slack;
+  for (std::size_t i = 0; i < opt.samples; ++i) {
+    const CharString w = law.sample_string(horizon, rng);
+    if (first_uniquely_honest_catalan(w, 1, k) == 0) ++misses;
+  }
+  return wilson_interval(misses, opt.samples);
+}
+
+Proportion mc_no_consecutive_catalan(const SymbolLaw& law, std::size_t k,
+                                     const McOptions& opt) {
+  law.validate();
+  Rng rng(opt.seed);
+  std::size_t misses = 0;
+  const std::size_t horizon = k + opt.horizon_slack;
+  for (std::size_t i = 0; i < opt.samples; ++i) {
+    const CharString w = law.sample_string(horizon, rng);
+    if (first_consecutive_catalan_pair(w, 1, k) == 0) ++misses;
+  }
+  return wilson_interval(misses, opt.samples);
+}
+
+Proportion mc_delta_settlement_failure(const TetraLaw& law, std::size_t delta, std::size_t k,
+                                       const McOptions& opt) {
+  law.validate();
+  Rng rng(opt.seed);
+  std::size_t misses = 0;
+  // The reduced string shrinks by roughly a factor f; oversample the raw
+  // horizon so the reduced window plus its lookahead is well populated.
+  const double f = law.f();
+  const std::size_t raw_horizon =
+      static_cast<std::size_t>(static_cast<double>(3 * k + opt.horizon_slack) / f) + delta + 8;
+  for (std::size_t i = 0; i < opt.samples; ++i) {
+    const TetraString w = law.sample_string(raw_horizon, rng);
+    const ReductionResult reduced = reduce_conservative(w, delta);
+    if (reduced.reduced.size() < k || !lemma2_event_holds(reduced.reduced, 1, k, delta))
+      ++misses;
+  }
+  return wilson_interval(misses, opt.samples);
+}
+
+Proportion mc_cp_window_failure(const SymbolLaw& law, std::size_t horizon, std::size_t k,
+                                const McOptions& opt) {
+  law.validate();
+  Rng rng(opt.seed);
+  std::size_t failures = 0;
+  for (std::size_t i = 0; i < opt.samples; ++i) {
+    const CharString w = law.sample_string(horizon + opt.horizon_slack, rng);
+    const CatalanFlags flags = catalan_flags(w);
+    bool bad_window = false;
+    // Sliding count of uniquely honest Catalan slots per length-k window.
+    std::size_t in_window = 0;
+    auto good = [&](std::size_t s) {
+      return flags.catalan[s - 1] && w.uniquely_honest(s);
+    };
+    for (std::size_t s = 1; s <= horizon && !bad_window; ++s) {
+      if (good(s)) ++in_window;
+      if (s >= k) {
+        if (in_window == 0) bad_window = true;
+        if (good(s - k + 1)) --in_window;
+      }
+    }
+    if (bad_window) ++failures;
+  }
+  return wilson_interval(failures, opt.samples);
+}
+
+std::vector<std::size_t> mc_first_catalan_histogram(const SymbolLaw& law, std::size_t horizon,
+                                                    const McOptions& opt) {
+  law.validate();
+  Rng rng(opt.seed);
+  std::vector<std::size_t> histogram(horizon + 2, 0);
+  for (std::size_t i = 0; i < opt.samples; ++i) {
+    const CharString w = law.sample_string(horizon + opt.horizon_slack, rng);
+    const std::size_t first = first_uniquely_honest_catalan(w, 1, horizon);
+    histogram[first == 0 ? horizon + 1 : first] += 1;
+  }
+  return histogram;
+}
+
+}  // namespace mh

@@ -1,0 +1,74 @@
+// Shared fork fixtures realizing the paper's figures.
+//
+// Figure 1 cannot be reproduced pixel-perfectly from the text, but the fixture
+// realizes its label multiset {1,2,2,3,4,4,4,5,6,6,7,8,9,9} for
+// w = hAhAhHAAH together with every property the caption states: honest
+// depths strictly increase, two honest vertices are labeled 6 and extend
+// different parents of equal depth, two honest vertices are labeled 9, and
+// two maximum-length tines are disjoint (share only the root).
+#pragma once
+
+#include "chars/char_string.hpp"
+#include "fork/fork.hpp"
+
+namespace mh::fixtures {
+
+struct Fig1 {
+  CharString w = CharString::parse("hAhAhHAAH");
+  Fork fork;
+  VertexId v1, a2a, a2b, v3, a4a, a4b, a4c, v5, v6a, v6b, a7, a8, v9a, v9b;
+
+  Fig1() {
+    v1 = fork.add_vertex(kRoot, 1);
+    a2a = fork.add_vertex(v1, 2);
+    a2b = fork.add_vertex(kRoot, 2);
+    v3 = fork.add_vertex(a2b, 3);
+    a4a = fork.add_vertex(a2a, 4);
+    a4b = fork.add_vertex(kRoot, 4);
+    a4c = fork.add_vertex(a2b, 4);
+    v5 = fork.add_vertex(v3, 5);
+    v6a = fork.add_vertex(v5, 6);
+    v6b = fork.add_vertex(a4a, 6);
+    a7 = fork.add_vertex(v6a, 7);
+    a8 = fork.add_vertex(v6b, 8);
+    v9a = fork.add_vertex(a7, 9);
+    v9b = fork.add_vertex(a8, 9);
+  }
+};
+
+/// Figure 2: a balanced fork for w = hAhAhA; two disjoint maximum-length
+/// tines, one honest (1 -> 3 -> 5), one adversarial (2 -> 4 -> 6).
+struct Fig2 {
+  CharString w = CharString::parse("hAhAhA");
+  Fork fork;
+  VertexId h1, h3, h5, a2, a4, a6;
+
+  Fig2() {
+    h1 = fork.add_vertex(kRoot, 1);
+    h3 = fork.add_vertex(h1, 3);
+    h5 = fork.add_vertex(h3, 5);
+    a2 = fork.add_vertex(kRoot, 2);
+    a4 = fork.add_vertex(a2, 4);
+    a6 = fork.add_vertex(a4, 6);
+  }
+};
+
+/// Figure 3: an x-balanced fork for w = hhhAhA with x = hh; the two
+/// maximum-length tines share the honest prefix 1 -> 2 and diverge after it.
+struct Fig3 {
+  CharString w = CharString::parse("hhhAhA");
+  std::size_t x_len = 2;
+  Fork fork;
+  VertexId h1, h2, h3, h5, a4, a6;
+
+  Fig3() {
+    h1 = fork.add_vertex(kRoot, 1);
+    h2 = fork.add_vertex(h1, 2);
+    h3 = fork.add_vertex(h2, 3);
+    h5 = fork.add_vertex(h3, 5);
+    a4 = fork.add_vertex(h2, 4);
+    a6 = fork.add_vertex(a4, 6);
+  }
+};
+
+}  // namespace mh::fixtures

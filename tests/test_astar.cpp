@@ -1,0 +1,108 @@
+#include "core/astar.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+#include "core/relative_margin.hpp"
+#include "fork/margin.hpp"
+#include "fork/reach.hpp"
+#include "fork/validate.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+namespace {
+
+void expect_canonical(const CharString& w) {
+  const Fork fork = build_canonical_fork(w);
+  ASSERT_TRUE(validate_fork(fork, w).ok)
+      << "A* fork invalid for " << w.to_string() << ": " << validate_fork(fork, w).message;
+  ASSERT_TRUE(is_closed(fork, w)) << w.to_string();
+  ASSERT_EQ(max_reach(fork, w), rho_of(w)) << "rho mismatch for " << w.to_string();
+  for (std::size_t x = 0; x <= w.size(); ++x) {
+    ASSERT_EQ(relative_margin(fork, w, x), relative_margin_recurrence(w, x))
+        << "mu mismatch for w = " << w.to_string() << " at x_len " << x;
+  }
+}
+
+TEST(AStar, CanonicalOnHandPickedStrings) {
+  for (const char* text :
+       {"", "h", "H", "A", "hh", "HH", "hA", "Ah", "AA", "HA", "AH", "hH", "Hh",
+        "hAhAhHAAH", "HHHH", "AAAA", "hhhh", "AhAhA", "HAHA", "AAHH", "hHAHA"}) {
+    expect_canonical(CharString::parse(text));
+  }
+}
+
+TEST(AStar, CanonicalOnAllStringsUpToLengthSix) {
+  // Exhaustive: every w in {h,H,A}^n for n <= 6 (3^6 = 729 strings).
+  for (std::size_t n = 0; n <= 6; ++n) {
+    std::vector<Symbol> symbols(n, Symbol::h);
+    std::size_t total = 1;
+    for (std::size_t i = 0; i < n; ++i) total *= 3;
+    for (std::size_t code = 0; code < total; ++code) {
+      std::size_t c = code;
+      for (std::size_t i = 0; i < n; ++i) {
+        symbols[i] = static_cast<Symbol>(c % 3);
+        c /= 3;
+      }
+      expect_canonical(CharString(symbols));
+    }
+  }
+}
+
+struct AStarCase {
+  double eps, ph;
+  std::size_t length;
+  int trials;
+};
+
+class AStarRandomized : public ::testing::TestWithParam<AStarCase> {};
+
+TEST_P(AStarRandomized, TheoremSixCanonicity) {
+  const auto [eps, ph, length, trials] = GetParam();
+  const SymbolLaw law = bernoulli_condition(eps, ph);
+  Rng rng(987654321);
+  for (int trial = 0; trial < trials; ++trial)
+    expect_canonical(law.sample_string(length, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AStarRandomized,
+    ::testing::Values(AStarCase{0.3, 0.3, 40, 20}, AStarCase{0.1, 0.1, 60, 10},
+                      AStarCase{0.5, 0.5, 30, 20}, AStarCase{0.2, 0.0, 50, 10},
+                      AStarCase{0.05, 0.02, 80, 5}, AStarCase{0.8, 0.1, 40, 10}));
+
+TEST(AStar, AdversarialSymbolsLeaveForkUntouched) {
+  AStarAdversary adversary;
+  adversary.step(Symbol::h);
+  const std::size_t before = adversary.fork().vertex_count();
+  adversary.step(Symbol::A);
+  adversary.step(Symbol::A);
+  EXPECT_EQ(adversary.fork().vertex_count(), before);
+  EXPECT_EQ(adversary.processed().to_string(), "hAA");
+}
+
+TEST(AStar, MultiplyHonestAtZeroReachForksTwice) {
+  // On w = "H" the canonical fork needs two concurrent honest blocks.
+  const Fork fork = build_canonical_fork(CharString::parse("H"));
+  EXPECT_EQ(fork.vertices_with_label(1).size(), 2u);
+  EXPECT_EQ(margin(fork, CharString::parse("H")), 0);
+}
+
+TEST(AStar, UniquelyHonestSlotAddsOneVertex) {
+  const Fork fork = build_canonical_fork(CharString::parse("h"));
+  EXPECT_EQ(fork.vertices_with_label(1).size(), 1u);
+}
+
+TEST(AStar, ConservativeExtensionsConsumeReserve) {
+  // w = hAAh: the final h extends the root-tine with the two adversarial
+  // labels to overtake the honest chain of length 1.
+  const CharString w = CharString::parse("hAAh");
+  const Fork fork = build_canonical_fork(w);
+  EXPECT_TRUE(validate_fork(fork, w).ok);
+  // Height must equal the honest depth of slot 4: three (two pads + leaf) or
+  // two, depending on which tine A* extended; canonicity pins the margins.
+  EXPECT_EQ(max_reach(fork, w), rho_of(w));
+}
+
+}  // namespace
+}  // namespace mh

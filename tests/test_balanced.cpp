@@ -1,0 +1,107 @@
+#include "fork/balanced.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+#include "core/astar.hpp"
+#include "core/relative_margin.hpp"
+#include "fork/validate.hpp"
+#include "fork_fixtures.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Balanced, FigureTwoIsBalanced) {
+  fixtures::Fig2 fig;
+  EXPECT_TRUE(is_balanced(fig.fork, fig.w));
+  EXPECT_TRUE(is_x_balanced(fig.fork, fig.w, 0));
+}
+
+TEST(Balanced, FigureThreeIsXBalancedButNotBalanced) {
+  fixtures::Fig3 fig;
+  EXPECT_TRUE(is_x_balanced(fig.fork, fig.w, fig.x_len));
+  EXPECT_FALSE(is_balanced(fig.fork, fig.w));  // tines share the h1 -> h2 prefix
+}
+
+TEST(Balanced, SingleChainNeverBalanced) {
+  const CharString w = CharString::parse("hh");
+  Fork f;
+  const VertexId a = f.add_vertex(kRoot, 1);
+  f.add_vertex(a, 2);
+  EXPECT_FALSE(is_balanced(f, w));
+  EXPECT_FALSE(is_x_balanced(f, w, 2));
+}
+
+TEST(Balanced, PadWithAdversarial) {
+  fixtures::Fig2 fig;
+  Fork fork = fig.fork;
+  // Pad the honest depth-2 tine h3 (gap 1) to full height with slot-4 block.
+  const VertexId head = pad_with_adversarial(fork, fig.w, fig.h3, 3);
+  EXPECT_EQ(fork.depth(head), 3u);
+  EXPECT_EQ(fork.label(head), 4u);
+  EXPECT_TRUE(validate_fork(fork, fig.w).ok);
+}
+
+TEST(Balanced, PadFailsWithoutReserve) {
+  const CharString w = CharString::parse("hh");
+  Fork f;
+  const VertexId a = f.add_vertex(kRoot, 1);
+  EXPECT_THROW(pad_with_adversarial(f, w, a, 3), std::invalid_argument);
+}
+
+TEST(Balanced, ExtendFigOneToBalanced) {
+  // Fig. 1's fork has margin 0 over the empty prefix; it must extend to a
+  // balanced fork.
+  fixtures::Fig1 fig;
+  const auto balanced = extend_to_x_balanced(fig.fork, fig.w, 0);
+  ASSERT_TRUE(balanced.has_value());
+  EXPECT_TRUE(is_balanced(*balanced, fig.w));
+  EXPECT_TRUE(validate_fork(*balanced, fig.w).ok);
+}
+
+TEST(Balanced, NegativeMarginAdmitsNoExtension) {
+  const CharString w = CharString::parse("hh");
+  Fork f;
+  const VertexId a = f.add_vertex(kRoot, 1);
+  f.add_vertex(a, 2);
+  EXPECT_FALSE(extend_to_x_balanced(f, w, 0).has_value());
+}
+
+struct BalCase {
+  double eps, ph;
+  std::size_t length;
+};
+
+class FactSix : public ::testing::TestWithParam<BalCase> {};
+
+// Fact 6, constructive direction on canonical forks: whenever the recurrence
+// says mu_x(y) >= 0, the canonical fork extends to an x-balanced fork (and the
+// extension validates). When mu_x(y) < 0, no fork for xy is x-balanced, so in
+// particular the canonical fork must not extend.
+TEST_P(FactSix, BalancedForkExistsIffMarginNonNegative) {
+  const auto [eps, ph, length] = GetParam();
+  const SymbolLaw law = bernoulli_condition(eps, ph);
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CharString w = law.sample_string(length, rng);
+    const Fork fork = build_canonical_fork(w);
+    for (std::size_t x = 0; x < w.size(); x += 2) {
+      const bool margin_ok = relative_margin_recurrence(w, x) >= 0;
+      const auto balanced = extend_to_x_balanced(fork, w, x);
+      ASSERT_EQ(balanced.has_value(), margin_ok)
+          << "w = " << w.to_string() << ", x_len = " << x;
+      if (balanced) {
+        ASSERT_TRUE(is_x_balanced(*balanced, w, x));
+        ASSERT_TRUE(validate_fork(*balanced, w).ok);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, FactSix,
+                         ::testing::Values(BalCase{0.3, 0.3, 20}, BalCase{0.1, 0.2, 28},
+                                           BalCase{0.5, 0.25, 16}, BalCase{0.2, 0.0, 24}));
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,54 @@
+#include "protocol/block.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mh {
+namespace {
+
+TEST(Block, HashIsDeterministic) {
+  EXPECT_EQ(block_hash(1, 2, 3, 4), block_hash(1, 2, 3, 4));
+}
+
+TEST(Block, HashSensitiveToEveryField) {
+  const BlockHash base = block_hash(1, 2, 3, 4);
+  EXPECT_NE(base, block_hash(9, 2, 3, 4));
+  EXPECT_NE(base, block_hash(1, 9, 3, 4));
+  EXPECT_NE(base, block_hash(1, 2, 9, 4));
+  EXPECT_NE(base, block_hash(1, 2, 3, 9));
+}
+
+TEST(Block, MakeBlockFillsHash) {
+  const Block b = make_block(42, 7, 3, 99);
+  EXPECT_EQ(b.parent, 42u);
+  EXPECT_EQ(b.slot, 7u);
+  EXPECT_EQ(b.issuer, 3u);
+  EXPECT_EQ(b.hash, block_hash(42, 7, 3, 99));
+}
+
+TEST(Block, GenesisIsStable) {
+  const Block& g1 = genesis_block();
+  const Block& g2 = genesis_block();
+  EXPECT_EQ(g1.hash, g2.hash);
+  EXPECT_EQ(g1.slot, 0u);
+}
+
+TEST(Block, IntegrityDetectsTampering) {
+  Block b = make_block(1, 2, 3, 4);
+  EXPECT_TRUE(verify_block_integrity(b));
+  b.slot = 5;  // tamper with the claimed slot
+  EXPECT_FALSE(verify_block_integrity(b));
+  b = make_block(1, 2, 3, 4);
+  b.parent = 7;  // tamper with the chain commitment
+  EXPECT_FALSE(verify_block_integrity(b));
+}
+
+TEST(Block, DistinctIssuersSameSlotDistinctHashes) {
+  // Two concurrent honest leaders of one slot produce different blocks even
+  // with identical parents and payloads.
+  const Block b1 = make_block(1, 5, 10, 0);
+  const Block b2 = make_block(1, 5, 11, 0);
+  EXPECT_NE(b1.hash, b2.hash);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,109 @@
+#include "protocol/blocktree.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mh {
+namespace {
+
+TEST(BlockTree, StartsWithGenesis) {
+  const BlockTree tree;
+  EXPECT_TRUE(tree.contains(genesis_block().hash));
+  EXPECT_EQ(tree.block_count(), 1u);
+  EXPECT_EQ(tree.length(genesis_block().hash), 0u);
+  EXPECT_EQ(tree.best_length(), 0u);
+}
+
+TEST(BlockTree, AddValidatesParentSlotAndIntegrity) {
+  BlockTree tree;
+  const Block good = make_block(genesis_block().hash, 1, 0, 0);
+  EXPECT_TRUE(tree.add(good));
+  EXPECT_EQ(tree.length(good.hash), 1u);
+
+  const Block orphan = make_block(0xdeadbeef, 2, 0, 0);
+  EXPECT_FALSE(tree.add(orphan));
+
+  Block tampered = make_block(good.hash, 2, 0, 0);
+  tampered.payload = 99;  // hash no longer matches
+  EXPECT_FALSE(tree.add(tampered));
+
+  const Block stale = make_block(good.hash, 1, 0, 0);  // slot not increasing
+  EXPECT_FALSE(tree.add(stale));
+
+  EXPECT_TRUE(tree.add(good));  // idempotent re-insertion
+  EXPECT_EQ(tree.block_count(), 2u);
+}
+
+TEST(BlockTree, BestHeadLongestChainWins) {
+  BlockTree tree;
+  const Block a1 = make_block(genesis_block().hash, 1, 0, 0);
+  const Block a2 = make_block(a1.hash, 2, 0, 0);
+  const Block b1 = make_block(genesis_block().hash, 3, 1, 0);
+  tree.add(a1);
+  tree.add(a2);
+  tree.add(b1);
+  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), a2.hash);
+  EXPECT_EQ(tree.best_head(TieBreak::ConsistentHash), a2.hash);
+  EXPECT_EQ(tree.best_length(), 2u);
+}
+
+TEST(BlockTree, TieBreakByArrivalVsHash) {
+  BlockTree tree;
+  const Block a = make_block(genesis_block().hash, 1, 0, 7);
+  const Block b = make_block(genesis_block().hash, 2, 1, 8);
+  tree.add(a);
+  tree.add(b);
+  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), a.hash);  // first arrival
+  EXPECT_EQ(tree.best_head(TieBreak::ConsistentHash), std::min(a.hash, b.hash));
+  const auto heads = tree.max_length_heads();
+  ASSERT_EQ(heads.size(), 2u);
+  EXPECT_EQ(heads[0], a.hash);
+}
+
+TEST(BlockTree, ChainReconstruction) {
+  BlockTree tree;
+  const Block a1 = make_block(genesis_block().hash, 1, 0, 0);
+  const Block a2 = make_block(a1.hash, 4, 0, 0);
+  tree.add(a1);
+  tree.add(a2);
+  const auto chain = tree.chain(a2.hash);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0], genesis_block().hash);
+  EXPECT_EQ(chain[1], a1.hash);
+  EXPECT_EQ(chain[2], a2.hash);
+}
+
+TEST(BlockTree, CommonAncestor) {
+  BlockTree tree;
+  const Block trunk = make_block(genesis_block().hash, 1, 0, 0);
+  const Block left = make_block(trunk.hash, 2, 0, 0);
+  const Block right = make_block(trunk.hash, 3, 1, 0);
+  const Block right2 = make_block(right.hash, 4, 1, 0);
+  tree.add(trunk);
+  tree.add(left);
+  tree.add(right);
+  tree.add(right2);
+  EXPECT_EQ(tree.common_ancestor(left.hash, right2.hash), trunk.hash);
+  EXPECT_EQ(tree.common_ancestor(right2.hash, right.hash), right.hash);
+  EXPECT_EQ(tree.common_ancestor(left.hash, left.hash), left.hash);
+}
+
+TEST(BlockTree, BlockAtSlot) {
+  BlockTree tree;
+  const Block a1 = make_block(genesis_block().hash, 2, 0, 0);
+  const Block a2 = make_block(a1.hash, 5, 0, 0);
+  tree.add(a1);
+  tree.add(a2);
+  EXPECT_EQ(tree.block_at_slot(a2.hash, 5), a2.hash);
+  EXPECT_EQ(tree.block_at_slot(a2.hash, 4), a1.hash);
+  EXPECT_EQ(tree.block_at_slot(a2.hash, 2), a1.hash);
+  EXPECT_EQ(tree.block_at_slot(a2.hash, 1), std::nullopt);
+}
+
+TEST(BlockTree, UnknownBlockThrows) {
+  const BlockTree tree;
+  EXPECT_THROW(static_cast<void>(tree.length(12345)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(tree.block(12345)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh

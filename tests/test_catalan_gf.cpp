@@ -1,0 +1,127 @@
+#include "genfunc/catalan_gf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "genfunc/consecutive_gf.hpp"
+#include "sim/monte_carlo.hpp"
+
+namespace mh {
+namespace {
+
+TEST(CatalanGF, CHatIsProbabilityGF) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.3);
+  const CatalanGF gf(law, 3000);
+  EXPECT_NEAR(static_cast<double>(gf.c_hat().partial_sum(3001)), 1.0, 1e-5);
+  for (std::size_t i = 0; i <= 200; ++i) EXPECT_GE(gf.c_hat().coeff(i), -1e-18L) << i;
+}
+
+TEST(CatalanGF, SmoothedSeriesIsProbabilityGF) {
+  const SymbolLaw law = bernoulli_condition(0.4, 0.4);
+  const CatalanGF gf(law, 2000);
+  EXPECT_NEAR(static_cast<double>(gf.c_smoothed().partial_sum(2001)), 1.0, 1e-5);
+}
+
+TEST(CatalanGF, TailsAreMonotoneDecreasing) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.5);
+  const CatalanGF gf(law, 1024);
+  long double prev = 1.0L;
+  for (std::size_t k = 1; k <= 512; k *= 2) {
+    const long double tail = gf.smoothed_tail(k);
+    EXPECT_LE(tail, prev + 1e-18L);
+    prev = tail;
+  }
+}
+
+TEST(CatalanGF, RadiusExceedsOne) {
+  for (double eps : {0.1, 0.3, 0.5}) {
+    for (double ph_frac : {0.2, 1.0}) {
+      const double ph = ph_frac * (1.0 + eps) / 2.0;
+      const CatalanGF gf(bernoulli_condition(eps, ph), 8);
+      EXPECT_GT(gf.radius(), 1.0L) << eps << " " << ph;
+      EXPECT_GT(gf.decay_rate(), 0.0L);
+    }
+  }
+}
+
+TEST(CatalanGF, RateIncreasesWithEpsilon) {
+  const CatalanGF weak(bernoulli_condition(0.1, 0.4), 8);
+  const CatalanGF strong(bernoulli_condition(0.4, 0.4), 8);
+  EXPECT_GT(strong.decay_rate(), weak.decay_rate());
+}
+
+TEST(CatalanGF, RateScalesWithPhWhenPhSmall) {
+  // Theorem 1: rate ~ min(eps^3, eps^2 ph). Halving a small ph roughly halves
+  // the rate.
+  const double eps = 0.5;
+  const CatalanGF a(bernoulli_condition(eps, 0.02), 8);
+  const CatalanGF b(bernoulli_condition(eps, 0.01), 8);
+  const double ratio = static_cast<double>(a.decay_rate() / b.decay_rate());
+  EXPECT_NEAR(ratio, 2.0, 0.35);
+}
+
+// The GF tail is a *bound*: it must dominate the Monte-Carlo estimate of the
+// true event "no uniquely honest Catalan slot in the window".
+struct GfCase {
+  double eps, ph;
+  std::size_t k;
+};
+
+class Bound1Dominates : public ::testing::TestWithParam<GfCase> {};
+
+TEST_P(Bound1Dominates, TailUpperBoundsTrueProbability) {
+  const auto [eps, ph, k] = GetParam();
+  const SymbolLaw law = bernoulli_condition(eps, ph);
+  const CatalanGF gf(law, 4 * k + 64);
+  McOptions opt;
+  opt.samples = 20'000;
+  opt.seed = 5150;
+  const Proportion mc = mc_no_unique_catalan(law, k, opt);
+  EXPECT_GE(static_cast<double>(gf.smoothed_tail(k)), mc.lo)
+      << "GF tail " << static_cast<double>(gf.smoothed_tail(k)) << " vs MC [" << mc.lo << ", "
+      << mc.hi << "]";
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Bound1Dominates,
+                         ::testing::Values(GfCase{0.3, 0.3, 30}, GfCase{0.2, 0.2, 50},
+                                           GfCase{0.5, 0.2, 20}, GfCase{0.4, 0.05, 40}));
+
+TEST(ConsecutiveGF, MHatIsProbabilityGF) {
+  const SymbolLaw law = bernoulli_condition(0.4, 0.0);
+  const ConsecutiveCatalanGF gf(law, 3000);
+  EXPECT_NEAR(static_cast<double>(gf.m_hat().partial_sum(3001)), 1.0, 1e-4);
+}
+
+TEST(ConsecutiveGF, RadiusMatchesEpsCubedOverTwo) {
+  // Section 5.2: radius = 1 + eps^3/2 + O(eps^4).
+  for (double eps : {0.1, 0.2}) {
+    const SymbolLaw law = bernoulli_condition(eps, 0.0);
+    const ConsecutiveCatalanGF gf(law, 8);
+    EXPECT_NEAR(static_cast<double>(gf.radius()), 1.0 + eps * eps * eps / 2.0,
+                eps * eps * eps * eps * 4.0)
+        << eps;
+  }
+}
+
+class Bound2Dominates : public ::testing::TestWithParam<GfCase> {};
+
+TEST_P(Bound2Dominates, TailUpperBoundsTrueProbability) {
+  const auto [eps, ph, k] = GetParam();
+  const SymbolLaw law = bernoulli_condition(eps, ph);
+  const ConsecutiveCatalanGF gf(law, 4 * k + 64);
+  McOptions opt;
+  opt.samples = 20'000;
+  opt.seed = 616;
+  const Proportion mc = mc_no_consecutive_catalan(law, k, opt);
+  EXPECT_GE(static_cast<double>(gf.smoothed_tail(k)) + 1e-9, mc.lo);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, Bound2Dominates,
+                         ::testing::Values(GfCase{0.4, 0.0, 30}, GfCase{0.3, 0.0, 60},
+                                           GfCase{0.5, 0.0, 40}));
+
+TEST(CatalanGF, RequiresPositivePh) {
+  EXPECT_THROW(CatalanGF(bernoulli_condition(0.3, 0.0), 16), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,104 @@
+#include "core/cp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+#include "core/astar.hpp"
+#include "fork/balanced.hpp"
+#include "fork_fixtures.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Cp, ViableTines) {
+  fixtures::Fig1 fig;
+  EXPECT_TRUE(is_viable_tine(fig.fork, fig.w, fig.v9a));
+  EXPECT_TRUE(is_viable_tine(fig.fork, fig.w, fig.v6a));  // depth 4 = d(6)
+  EXPECT_FALSE(is_viable_tine(fig.fork, fig.w, fig.a4b)); // depth 1 < d(3) = 2
+  EXPECT_TRUE(is_viable_tine(fig.fork, fig.w, kRoot));    // nothing before slot 0
+}
+
+TEST(Cp, SlotDivergenceOnFixture) {
+  fixtures::Fig1 fig;
+  // The two viable 9-tines share only the root: divergence 9 - 0 = 9.
+  EXPECT_EQ(slot_divergence(fig.fork, fig.w), 9u);
+}
+
+TEST(Cp, SatisfiesKCpSlot) {
+  fixtures::Fig1 fig;
+  // Slot divergence 9 => violates k-CP^slot for k <= 8, satisfies k >= 9.
+  EXPECT_FALSE(satisfies_k_cp_slot(fig.fork, fig.w, 8));
+  EXPECT_TRUE(satisfies_k_cp_slot(fig.fork, fig.w, 9));
+}
+
+TEST(Cp, SingleChainAlwaysSatisfiesCp) {
+  const CharString w = CharString::parse("hhhh");
+  Fork f;
+  VertexId v = kRoot;
+  for (std::uint32_t s = 1; s <= 4; ++s) v = f.add_vertex(v, s);
+  for (std::size_t k = 0; k <= 4; ++k) EXPECT_TRUE(satisfies_k_cp_slot(f, w, k));
+  EXPECT_EQ(slot_divergence(f, w), 0u);
+}
+
+TEST(Cp, GuaranteedByCatalanWindows) {
+  // hhhh: every window of length 1 contains a uniquely honest Catalan slot.
+  EXPECT_TRUE(cp_slot_guaranteed_by_catalan(CharString::parse("hhhh"), 1));
+  // hAhA: no right-Catalan slots at all (every h is followed by an A).
+  EXPECT_FALSE(cp_slot_guaranteed_by_catalan(CharString::parse("hAhA"), 2));
+  // Short strings trivially satisfy the window condition.
+  EXPECT_TRUE(cp_slot_guaranteed_by_catalan(CharString::parse("hA"), 8));
+}
+
+// Soundness of the Catalan sufficient condition against the strongest
+// adversary we have: if every k-window has a uniquely honest Catalan slot,
+// the canonical fork must satisfy k-CP^slot.
+struct CpCase {
+  double eps, ph;
+  std::size_t length, k;
+};
+
+class CpSoundness : public ::testing::TestWithParam<CpCase> {};
+
+TEST_P(CpSoundness, CatalanWindowsImplyCanonicalForkCp) {
+  const auto [eps, ph, length, k] = GetParam();
+  const SymbolLaw law = bernoulli_condition(eps, ph);
+  Rng rng(314159);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CharString w = law.sample_string(length, rng);
+    if (!cp_slot_guaranteed_by_catalan(w, k)) continue;
+    const Fork fork = build_canonical_fork(w);
+    ASSERT_TRUE(satisfies_k_cp_slot(fork, w, k)) << w.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CpSoundness,
+                         ::testing::Values(CpCase{0.5, 0.6, 40, 10}, CpCase{0.3, 0.5, 30, 12},
+                                           CpCase{0.7, 0.8, 50, 8}));
+
+// Conversely, an adversarial run after slot 1 admits a private chain that is
+// viable (longer than every honest block it competes with) yet shares only
+// the genesis with the honest chain: a k-CP^slot violation for small k.
+TEST(Cp, PrivateAdversarialChainViolatesCp) {
+  const CharString w = CharString::parse("hAAAAAAh");
+  Fork fork = build_canonical_fork(w);  // honest chain: v(1) -> v(8)
+  // The private chain spends all six adversarial labels from genesis.
+  pad_with_adversarial(fork, w, kRoot, 6);
+  EXPECT_GE(slot_divergence(fork, w), 7u);
+  EXPECT_FALSE(satisfies_k_cp_slot(fork, w, 3));
+  // With a huge confirmation depth the trimmed prefix is just genesis.
+  EXPECT_TRUE(satisfies_k_cp_slot(fork, w, 8));
+}
+
+TEST(Cp, Theorem8BoundScalesLinearlyInHorizon) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.4);
+  const long double b1 = theorem8_bound(law, 1000, 60);
+  const long double b2 = theorem8_bound(law, 2000, 60);
+  if (b2 < 1.0L) {
+    EXPECT_NEAR(static_cast<double>(b2 / b1), 2.0, 1e-6);
+  }
+  EXPECT_LE(theorem8_bound(law, 1'000'000, 5), 1.0L);  // clamped
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,90 @@
+#include "delta/delta_settlement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/monte_carlo.hpp"
+
+namespace mh {
+namespace {
+
+TEST(DeltaSettlement, EpsilonDecreasesWithDelta) {
+  const TetraLaw law = theorem7_law(0.1, 0.02, 0.05);
+  double prev = theorem7_epsilon(law, 0);
+  for (std::size_t delta = 1; delta <= 8; ++delta) {
+    const double eps = theorem7_epsilon(law, delta);
+    EXPECT_LT(eps, prev);
+    prev = eps;
+  }
+}
+
+TEST(DeltaSettlement, Condition20Equivalence) {
+  // eps' > 0 iff condition (20) holds with some eps > 0: reduced pA < 1/2.
+  const TetraLaw sparse = theorem7_law(0.05, 0.01, 0.03);   // sparse slots: robust
+  EXPECT_GT(theorem7_epsilon(sparse, 4), 0.0);
+  const TetraLaw dense = theorem7_law(0.9, 0.2, 0.4);       // dense slots: Delta kills it
+  EXPECT_LT(theorem7_epsilon(dense, 4), 0.0);
+}
+
+TEST(DeltaSettlement, BoundDecaysInK) {
+  const TetraLaw law = theorem7_law(0.1, 0.02, 0.06);
+  const long double b100 = theorem7_bound(law, 2, 100);
+  const long double b300 = theorem7_bound(law, 2, 300);
+  const long double b600 = theorem7_bound(law, 2, 600);
+  EXPECT_LE(b300, b100);
+  EXPECT_LT(b600, b300);
+}
+
+TEST(DeltaSettlement, BoundGrowsWithDelta) {
+  const TetraLaw law = theorem7_law(0.1, 0.02, 0.06);
+  const long double d0 = theorem7_bound(law, 0, 400);
+  const long double d4 = theorem7_bound(law, 4, 400);
+  EXPECT_LE(d0, d4);
+}
+
+TEST(DeltaSettlement, InapplicableRegimeSaturates) {
+  const TetraLaw dense = theorem7_law(0.9, 0.2, 0.4);
+  EXPECT_EQ(theorem7_bound(dense, 6, 100), 1.0L);
+}
+
+TEST(DeltaSettlement, Lemma2EventHandChecks) {
+  // reduced = hhhh...: slot 1 is Catalan; with delta = 0 the walk condition
+  // requires S_{1+k+i} <= S_1 for all observed i, which a monotone descent
+  // satisfies.
+  const CharString reduced = CharString::parse("hhhhhh");
+  EXPECT_TRUE(lemma2_event_holds(reduced, 1, 2, 0));
+  EXPECT_TRUE(lemma2_event_holds(reduced, 1, 2, 1));
+  // All-H windows contain no uniquely honest slot.
+  EXPECT_FALSE(lemma2_event_holds(CharString::parse("HHHHHH"), 1, 2, 0));
+  // Too-short strings cannot host the window.
+  EXPECT_FALSE(lemma2_event_holds(CharString::parse("hh"), 1, 3, 0));
+}
+
+TEST(DeltaSettlement, Lemma2WalkConditionBinds) {
+  // reduced = h A A A: slot 1 is uniquely honest but not Catalan ([1,2] is
+  // A-heavy), so no window works.
+  EXPECT_FALSE(lemma2_event_holds(CharString::parse("hAAA"), 1, 1, 0));
+  // reduced = h h A A: slot 1 Catalan? [1, r]: r=4: 2 honest vs 2 adversarial
+  // -> not hH-heavy: not right-Catalan. Slot... k=2 window {1,2}: slot 2?
+  // [2,4]: 1 vs 2: A-heavy: no. So event fails.
+  EXPECT_FALSE(lemma2_event_holds(CharString::parse("hhAA"), 1, 2, 0));
+  // reduced = h h h h A, walk S = -1,-2,-3,-4,-3. Slot c = 1 is Catalan and
+  // uniquely honest; the walk condition needs S_{3..5} <= S_1 - delta = -1-d:
+  // max(S_3, S_4, S_5) = -3, so delta <= 2 holds and delta = 3 fails.
+  EXPECT_TRUE(lemma2_event_holds(CharString::parse("hhhhA"), 1, 2, 1));
+  EXPECT_TRUE(lemma2_event_holds(CharString::parse("hhhhA"), 1, 2, 2));
+  EXPECT_FALSE(lemma2_event_holds(CharString::parse("hhhhA"), 1, 2, 3));
+}
+
+TEST(DeltaSettlement, MonteCarloFailureBelowBound) {
+  const TetraLaw law = theorem7_law(0.1, 0.03, 0.05);
+  const std::size_t delta = 1, k = 60;
+  McOptions opt;
+  opt.samples = 4'000;
+  opt.seed = 11;
+  const Proportion failure = mc_delta_settlement_failure(law, delta, k, opt);
+  const long double bound = theorem7_bound(law, delta, k);
+  EXPECT_LE(failure.lo, static_cast<double>(bound));
+}
+
+}  // namespace
+}  // namespace mh

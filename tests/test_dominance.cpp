@@ -1,0 +1,86 @@
+#include "chars/dominance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_dp.hpp"
+#include "core/relative_margin.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Dominance, LeqCoordinatewise) {
+  EXPECT_TRUE(leq(CharString::parse("hhH"), CharString::parse("hHA")));
+  EXPECT_TRUE(leq(CharString::parse("hHA"), CharString::parse("hHA")));
+  EXPECT_FALSE(leq(CharString::parse("hHA"), CharString::parse("hhA")));
+  EXPECT_FALSE(leq(CharString::parse("A"), CharString::parse("H")));
+  EXPECT_FALSE(leq(CharString::parse("hh"), CharString::parse("h")));  // length mismatch
+}
+
+TEST(Dominance, SymbolLawOrder) {
+  const SymbolLaw less = bernoulli_condition(0.5, 0.4);   // pA = 0.25
+  const SymbolLaw more = bernoulli_condition(0.3, 0.3);   // pA = 0.35
+  EXPECT_TRUE(symbol_law_dominated(less, more));
+  EXPECT_FALSE(symbol_law_dominated(more, less));
+  EXPECT_TRUE(symbol_law_dominated(less, less));
+}
+
+TEST(Dominance, CoupledSamplesRespectOrder) {
+  const SymbolLaw less = bernoulli_condition(0.5, 0.4);
+  const SymbolLaw more = bernoulli_condition(0.2, 0.2);
+  ASSERT_TRUE(symbol_law_dominated(less, more));
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto [a, b] = coupled_sample(less, more, 128, rng);
+    EXPECT_TRUE(leq(a, b));
+  }
+}
+
+TEST(Dominance, CoupledSamplesMarginalsCorrect) {
+  const SymbolLaw law = bernoulli_condition(0.4, 0.3);
+  Rng rng(99);
+  std::size_t advA = 0, advB = 0;
+  const std::size_t trials = 500;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto [a, b] = coupled_sample(law, law, 64, rng);
+    EXPECT_EQ(a.to_string(), b.to_string());  // identical laws couple identically
+    advA += a.count_adversarial(1, 64);
+    advB += b.count_adversarial(1, 64);
+  }
+  const double freq = static_cast<double>(advA) / (64.0 * trials);
+  EXPECT_NEAR(freq, law.pA, 0.01);
+}
+
+
+// Theorem 1's second claim rests on monotonicity: if x <= y coordinatewise
+// then every settlement quantity moves the adversary's way. Verified here on
+// coupled samples (one uniform stream drives both laws).
+TEST(Dominance, MarginsMonotoneUnderCoupling) {
+  const SymbolLaw mild = bernoulli_condition(0.5, 0.4);
+  const SymbolLaw harsh = bernoulli_condition(0.2, 0.2);
+  ASSERT_TRUE(symbol_law_dominated(mild, harsh));
+  Rng rng(2718);
+  for (int trial = 0; trial < 40; ++trial) {
+    const auto [a, b] = coupled_sample(mild, harsh, 48, rng);
+    ASSERT_TRUE(leq(a, b));
+    for (std::size_t x = 0; x <= a.size(); x += 6) {
+      const auto ta = margin_trajectory(a, x);
+      const auto tb = margin_trajectory(b, x);
+      for (std::size_t j = 0; j < ta.size(); ++j)
+        ASSERT_LE(ta[j], tb[j]) << "x = " << x << " j = " << j;
+    }
+  }
+}
+
+TEST(Dominance, SettlementInsecurityMonotoneAcrossLaws) {
+  // S^{s,k}[W] <= S^{s,k}[B] for W dominated by B (Theorem 1, second claim),
+  // realized through the exact DP.
+  const SymbolLaw mild = table1_law(0.30, 0.6);
+  const SymbolLaw harsh = table1_law(0.40, 0.6);
+  ASSERT_TRUE(symbol_law_dominated(mild, harsh));
+  for (std::size_t k : {20u, 60u, 120u})
+    EXPECT_LE(static_cast<double>(settlement_violation_probability(mild, k)),
+              static_cast<double>(settlement_violation_probability(harsh, k)))
+        << k;
+}
+}  // namespace
+}  // namespace mh

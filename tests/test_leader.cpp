@@ -1,0 +1,99 @@
+#include "protocol/leader.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/stats.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Leader, SymbolLevelScheduleShapes) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.3);
+  Rng rng(10);
+  const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 500, 8, rng);
+  EXPECT_EQ(schedule.horizon(), 500u);
+  for (std::size_t t = 1; t <= 500; ++t) {
+    const SlotLeaders& l = schedule.leaders(t);
+    if (l.adversarial) {
+      EXPECT_TRUE(l.honest.empty());
+    } else {
+      EXPECT_GE(l.honest.size(), 1u);
+      EXPECT_LE(l.honest.size(), 2u);
+      if (l.honest.size() == 2) {
+        EXPECT_NE(l.honest[0], l.honest[1]);
+      }
+    }
+  }
+}
+
+TEST(Leader, CharacteristicStringMatchesLeaders) {
+  const SymbolLaw law = bernoulli_condition(0.4, 0.2);
+  Rng rng(11);
+  const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 200, 4, rng);
+  const CharString w = schedule.characteristic_sync();
+  for (std::size_t t = 1; t <= 200; ++t) {
+    const SlotLeaders& l = schedule.leaders(t);
+    if (l.adversarial)
+      EXPECT_EQ(w.at(t), Symbol::A);
+    else if (l.honest.size() == 1)
+      EXPECT_EQ(w.at(t), Symbol::h);
+    else
+      EXPECT_EQ(w.at(t), Symbol::H);
+  }
+}
+
+TEST(Leader, EligibilityChecks) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.4);
+  Rng rng(12);
+  const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 100, 4, rng);
+  for (std::size_t t = 1; t <= 100; ++t) {
+    const SlotLeaders& l = schedule.leaders(t);
+    EXPECT_EQ(schedule.eligible(kAdversary, t), l.adversarial);
+    for (PartyId p : l.honest) EXPECT_TRUE(schedule.eligible(p, t));
+  }
+  EXPECT_FALSE(schedule.eligible(0, 0));    // genesis slot
+  EXPECT_FALSE(schedule.eligible(0, 101));  // beyond horizon
+}
+
+TEST(Leader, TetraScheduleMayHaveEmptySlots) {
+  const TetraLaw law = theorem7_law(0.3, 0.1, 0.1);
+  Rng rng(13);
+  const LeaderSchedule schedule = LeaderSchedule::from_tetra_law(law, 300, 4, rng);
+  const TetraString w = schedule.characteristic();
+  std::size_t empties = 0;
+  for (std::size_t t = 1; t <= 300; ++t)
+    if (is_empty(w.at(t))) ++empties;
+  EXPECT_GT(empties, 120u);  // pBot = 0.7: expect ~210
+  EXPECT_THROW(schedule.characteristic_sync(), std::invalid_argument);
+}
+
+TEST(Leader, PraosLotteryInducedLawMatchesEmpirical) {
+  const double f = 0.3, adv_stake = 0.25;
+  const std::size_t parties = 6;
+  const TetraLaw predicted = LeaderSchedule::praos_induced_law(f, adv_stake, parties);
+  Rng rng(14);
+  std::array<std::size_t, 4> counts{};  // Bot, h, H, A
+  const std::size_t horizon = 60'000;
+  const LeaderSchedule schedule = LeaderSchedule::praos_lottery(f, adv_stake, parties,
+                                                                horizon, rng);
+  const TetraString w = schedule.characteristic();
+  for (std::size_t t = 1; t <= horizon; ++t) ++counts[static_cast<std::size_t>(w.at(t))];
+  const std::array<double, 4> expected{predicted.pBot, predicted.ph, predicted.pH,
+                                       predicted.pA};
+  EXPECT_LT(chi_square_statistic(counts, expected), chi_square_critical(3, 0.001));
+}
+
+TEST(Leader, PraosInducedLawSums) {
+  const TetraLaw law = LeaderSchedule::praos_induced_law(0.2, 0.3, 10);
+  EXPECT_NEAR(law.pBot + law.ph + law.pH + law.pA, 1.0, 1e-12);
+  EXPECT_GT(law.pH, 0.0);  // concurrent honest leaders occur by design
+}
+
+TEST(Leader, HSlotNeedsTwoParties) {
+  const SymbolLaw all_H{0.0, 1.0, 0.0};
+  Rng rng(15);
+  EXPECT_THROW(LeaderSchedule::from_symbol_law(all_H, 10, 1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,81 @@
+#include "fork/margin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+#include "core/astar.hpp"
+#include "fork/reach.hpp"
+#include "fork_fixtures.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Margin, LinearPassMatchesBruteforceOnFixtures) {
+  fixtures::Fig1 fig;
+  for (std::size_t x = 0; x <= fig.w.size(); ++x)
+    EXPECT_EQ(relative_margin(fig.fork, fig.w, x),
+              relative_margin_bruteforce(fig.fork, fig.w, x))
+        << "x_len " << x;
+}
+
+TEST(Margin, FullSuffixMarginEqualsMaxReach) {
+  // mu_x(eps) = rho(x): with the whole string as prefix, every pair (and every
+  // self-pair) is disjoint, so the margin equals the maximum reach (Claim 3).
+  fixtures::Fig1 fig;
+  EXPECT_EQ(relative_margin(fig.fork, fig.w, fig.w.size()), max_reach(fig.fork, fig.w));
+}
+
+TEST(Margin, BalancedForkHasNonNegativeMargin) {
+  fixtures::Fig2 fig2;
+  EXPECT_GE(margin(fig2.fork, fig2.w), 0);
+  fixtures::Fig3 fig3;
+  EXPECT_GE(relative_margin(fig3.fork, fig3.w, fig3.x_len), 0);
+}
+
+TEST(Margin, WitnessPairIsDisjointAndAchievesValue) {
+  fixtures::Fig1 fig;
+  for (std::size_t x = 0; x <= fig.w.size(); ++x) {
+    const MarginWitness witness = relative_margin_witness(fig.fork, fig.w, x);
+    EXPECT_TRUE(fig.fork.disjoint_over_suffix(witness.t1, witness.t2, x));
+    const auto reaches = all_reaches(fig.fork, fig.w);
+    EXPECT_EQ(std::min(reaches[witness.t1], reaches[witness.t2]), witness.value);
+  }
+}
+
+TEST(Margin, SingleChainMarginIsNegativeEarly) {
+  // A lone honest chain admits no early-diverging pair: margin over the whole
+  // string must be the root's reach.
+  const CharString w = CharString::parse("hhh");
+  Fork f;
+  VertexId v = kRoot;
+  for (std::uint32_t slot = 1; slot <= 3; ++slot) v = f.add_vertex(v, slot);
+  EXPECT_EQ(margin(f, w), -3);  // root self-pair: reach(root) = 0 - 3
+}
+
+struct MarginCase {
+  double eps, ph;
+  std::size_t length;
+};
+
+class MarginRandomized : public ::testing::TestWithParam<MarginCase> {};
+
+TEST_P(MarginRandomized, LinearPassMatchesBruteforceOnCanonicalForks) {
+  const auto [eps, ph, length] = GetParam();
+  const SymbolLaw law = bernoulli_condition(eps, ph);
+  Rng rng(2024);
+  for (int trial = 0; trial < 10; ++trial) {
+    const CharString w = law.sample_string(length, rng);
+    const Fork fork = build_canonical_fork(w);
+    for (std::size_t x = 0; x <= w.size(); x += 3)
+      ASSERT_EQ(relative_margin(fork, w, x), relative_margin_bruteforce(fork, w, x))
+          << "w = " << w.to_string() << ", x_len = " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, MarginRandomized,
+                         ::testing::Values(MarginCase{0.3, 0.3, 24}, MarginCase{0.1, 0.1, 32},
+                                           MarginCase{0.5, 0.5, 16}, MarginCase{0.2, 0.05, 40}));
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,78 @@
+#include "protocol/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mh {
+namespace {
+
+TEST(Network, SynchronousBroadcastArrivesNextSlot) {
+  Network net(3, 0);
+  const Block b = make_block(genesis_block().hash, 1, 0, 0);
+  net.broadcast(b, 1);
+  EXPECT_TRUE(net.collect(0, 1).empty());
+  const auto due = net.collect(0, 2);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].hash, b.hash);
+  EXPECT_TRUE(net.collect(0, 3).empty());  // consumed
+  // Other recipients get their own copies.
+  EXPECT_EQ(net.collect(1, 2).size(), 1u);
+  EXPECT_EQ(net.collect(2, 2).size(), 1u);
+}
+
+TEST(Network, DelaysBoundedByDelta) {
+  Network net(2, 3);
+  const Block b = make_block(genesis_block().hash, 1, 0, 0);
+  net.broadcast(b, 1, {0, 3});
+  EXPECT_EQ(net.collect(0, 2).size(), 1u);
+  EXPECT_TRUE(net.collect(1, 2).empty());
+  EXPECT_TRUE(net.collect(1, 4).empty());
+  EXPECT_EQ(net.collect(1, 5).size(), 1u);
+}
+
+TEST(Network, RejectsDelaysPastDelta) {
+  Network net(2, 1);
+  const Block b = make_block(genesis_block().hash, 1, 0, 0);
+  EXPECT_THROW(net.broadcast(b, 1, {0, 2}), std::invalid_argument);
+  EXPECT_THROW(net.broadcast(b, 1, {0}), std::invalid_argument);  // wrong size
+}
+
+TEST(Network, InjectionTargetsOneRecipient) {
+  Network net(3, 0);
+  const Block b = make_block(genesis_block().hash, 2, kAdversary, 0);
+  net.inject(b, 1, 4);
+  EXPECT_TRUE(net.collect(0, 4).empty());
+  EXPECT_EQ(net.collect(1, 4).size(), 1u);
+  EXPECT_TRUE(net.collect(2, 4).empty());
+}
+
+TEST(Network, InjectAllReachesEveryone) {
+  Network net(3, 0);
+  const Block b = make_block(genesis_block().hash, 2, kAdversary, 0);
+  net.inject_all(b, 3);
+  for (PartyId p = 0; p < 3; ++p) EXPECT_EQ(net.collect(p, 3).size(), 1u);
+}
+
+TEST(Network, LateCollectionDeliversBacklog) {
+  Network net(1, 0);
+  const Block b1 = make_block(genesis_block().hash, 1, 0, 0);
+  const Block b2 = make_block(b1.hash, 2, 0, 0);
+  net.broadcast(b1, 1);
+  net.broadcast(b2, 2);
+  const auto due = net.collect(0, 5);  // collected late: both blocks due
+  EXPECT_EQ(due.size(), 2u);
+}
+
+TEST(Network, PreservesSchedulingOrder) {
+  Network net(1, 0);
+  const Block b1 = make_block(genesis_block().hash, 1, 0, 1);
+  const Block b2 = make_block(genesis_block().hash, 1, 1, 2);
+  net.inject(b1, 0, 2);
+  net.inject(b2, 0, 2);
+  const auto due = net.collect(0, 2);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0].hash, b1.hash);
+  EXPECT_EQ(due[1].hash, b2.hash);
+}
+
+}  // namespace
+}  // namespace mh

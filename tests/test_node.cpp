@@ -1,0 +1,88 @@
+#include "protocol/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+
+namespace mh {
+namespace {
+
+LeaderSchedule fixed_schedule() {
+  // Slots: 1 -> honest party 0; 2 -> honest parties 0,1; 3 -> adversarial.
+  std::vector<SlotLeaders> slots(3);
+  slots[0].honest = {0};
+  slots[1].honest = {0, 1};
+  slots[2].adversarial = true;
+  return LeaderSchedule(std::move(slots), 2);
+}
+
+TEST(Node, AcceptsOnlyEligibleIssuers) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(0, TieBreak::ConsistentHash, &schedule);
+  const Block good = make_block(genesis_block().hash, 1, 0, 0);
+  node.receive(good);
+  EXPECT_EQ(node.best_length(), 1u);
+
+  // Party 1 was not elected in slot 1: the "signature check" rejects.
+  const Block forged = make_block(genesis_block().hash, 1, 1, 0);
+  node.receive(forged);
+  EXPECT_FALSE(node.tree().contains(forged.hash));
+
+  // Adversarial block in the adversarial slot is accepted.
+  const Block adv = make_block(good.hash, 3, kAdversary, 0);
+  node.receive(adv);
+  EXPECT_TRUE(node.tree().contains(adv.hash));
+}
+
+TEST(Node, RejectsTamperedBlocks) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(0, TieBreak::ConsistentHash, &schedule);
+  Block b = make_block(genesis_block().hash, 1, 0, 0);
+  b.payload ^= 1;  // break the header hash
+  node.receive(b);
+  EXPECT_EQ(node.tree().block_count(), 1u);
+}
+
+TEST(Node, BuffersOrphansUntilParentArrives) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(1, TieBreak::ConsistentHash, &schedule);
+  const Block parent = make_block(genesis_block().hash, 1, 0, 0);
+  const Block child = make_block(parent.hash, 2, 1, 0);
+  node.receive(child);  // parent unknown: buffered
+  EXPECT_FALSE(node.tree().contains(child.hash));
+  node.receive(parent);
+  EXPECT_TRUE(node.tree().contains(child.hash));
+  EXPECT_EQ(node.best_length(), 2u);
+}
+
+TEST(Node, ForgeExtendsBestChain) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(0, TieBreak::ConsistentHash, &schedule);
+  const Block b1 = make_block(genesis_block().hash, 1, 0, 0);
+  node.receive(b1);
+  const Block forged = node.forge(2, 1234);
+  EXPECT_EQ(forged.parent, b1.hash);
+  EXPECT_EQ(forged.slot, 2u);
+  EXPECT_EQ(forged.issuer, 0u);
+  EXPECT_TRUE(verify_block_integrity(forged));
+}
+
+TEST(Node, ForgeRequiresLeadership) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(1, TieBreak::ConsistentHash, &schedule);
+  // party 1 not a slot-1 leader:
+  EXPECT_THROW(static_cast<void>(node.forge(1, 0)), std::invalid_argument);
+}
+
+TEST(Node, ConsistentTieBreakPicksMinHash) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(0, TieBreak::ConsistentHash, &schedule);
+  const Block x = make_block(genesis_block().hash, 1, 0, 0);
+  const Block y = make_block(genesis_block().hash, 3, kAdversary, 0);
+  node.receive(x);
+  node.receive(y);
+  EXPECT_EQ(node.best_head(), std::min(x.hash, y.hash));
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,122 @@
+#include "genfunc/power_series.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mh {
+namespace {
+
+constexpr std::size_t N = 64;
+
+TEST(PowerSeries, ConstructionAndAccess) {
+  PowerSeries s(N);
+  EXPECT_EQ(s.order(), N);
+  EXPECT_EQ(s.coeff(0), 0.0L);
+  s.set_coeff(3, 2.5L);
+  EXPECT_EQ(s.coeff(3), 2.5L);
+  EXPECT_EQ(s.coeff(N + 10), 0.0L);  // out of range reads as zero
+  EXPECT_THROW(s.set_coeff(N + 1, 1.0L), std::invalid_argument);
+}
+
+TEST(PowerSeries, Valuation) {
+  EXPECT_EQ(PowerSeries(N).valuation(), N + 1);
+  EXPECT_EQ(PowerSeries::constant(N, 2.0L).valuation(), 0u);
+  EXPECT_EQ(PowerSeries::monomial(N, 1.0L, 5).valuation(), 5u);
+}
+
+TEST(PowerSeries, AddSubMul) {
+  // (1 + Z)^2 = 1 + 2Z + Z^2.
+  PowerSeries one_plus_z = PowerSeries::constant(N, 1.0L) + PowerSeries::monomial(N, 1.0L, 1);
+  const PowerSeries square = one_plus_z * one_plus_z;
+  EXPECT_EQ(square.coeff(0), 1.0L);
+  EXPECT_EQ(square.coeff(1), 2.0L);
+  EXPECT_EQ(square.coeff(2), 1.0L);
+  EXPECT_EQ(square.coeff(3), 0.0L);
+  const PowerSeries diff = square - one_plus_z;
+  EXPECT_EQ(diff.coeff(1), 1.0L);
+}
+
+TEST(PowerSeries, MulTruncates) {
+  const PowerSeries zn = PowerSeries::monomial(4, 1.0L, 4);
+  const PowerSeries product = zn * zn;  // Z^8 truncated away
+  for (std::size_t i = 0; i <= 4; ++i) EXPECT_EQ(product.coeff(i), 0.0L);
+}
+
+TEST(PowerSeries, GeometricInverse) {
+  // (1 - Z)^{-1} = 1 + Z + Z^2 + ...
+  const PowerSeries denom = PowerSeries::constant(N, 1.0L) - PowerSeries::monomial(N, 1.0L, 1);
+  const PowerSeries inv = denom.inverse();
+  for (std::size_t i = 0; i <= N; ++i) EXPECT_NEAR(static_cast<double>(inv.coeff(i)), 1.0, 1e-15);
+  // Round trip: denom * inv = 1.
+  const PowerSeries id = denom * inv;
+  EXPECT_NEAR(static_cast<double>(id.coeff(0)), 1.0, 1e-15);
+  for (std::size_t i = 1; i <= N; ++i)
+    EXPECT_NEAR(static_cast<double>(id.coeff(i)), 0.0, 1e-15);
+}
+
+TEST(PowerSeries, InverseRequiresUnitConstant) {
+  EXPECT_THROW(PowerSeries::monomial(N, 1.0L, 1).inverse(), std::invalid_argument);
+}
+
+TEST(PowerSeries, SqrtRoundTrip) {
+  // sqrt(1 - Z): squared must return 1 - Z.
+  const PowerSeries s = PowerSeries::constant(N, 1.0L) - PowerSeries::monomial(N, 1.0L, 1);
+  const PowerSeries root = s.sqrt();
+  const PowerSeries back = root * root;
+  EXPECT_NEAR(static_cast<double>(back.coeff(0)), 1.0, 1e-14);
+  EXPECT_NEAR(static_cast<double>(back.coeff(1)), -1.0, 1e-14);
+  for (std::size_t i = 2; i <= N; ++i)
+    EXPECT_NEAR(static_cast<double>(back.coeff(i)), 0.0, 1e-12);
+  // Binomial series check: coeff of Z^1 in sqrt(1 - Z) is -1/2.
+  EXPECT_NEAR(static_cast<double>(root.coeff(1)), -0.5, 1e-15);
+  EXPECT_NEAR(static_cast<double>(root.coeff(2)), -0.125, 1e-15);
+}
+
+TEST(PowerSeries, DividedByWithValuation) {
+  // (Z^2 + Z^3) / Z = Z + Z^2.
+  const PowerSeries num =
+      PowerSeries::monomial(N, 1.0L, 2) + PowerSeries::monomial(N, 1.0L, 3);
+  const PowerSeries den = PowerSeries::monomial(N, 1.0L, 1);
+  const PowerSeries q = num.dividedBy(den);
+  EXPECT_EQ(q.coeff(1), 1.0L);
+  EXPECT_EQ(q.coeff(2), 1.0L);
+  EXPECT_EQ(q.coeff(0), 0.0L);
+}
+
+TEST(PowerSeries, DividedByRejectsImproperQuotient) {
+  const PowerSeries num = PowerSeries::constant(N, 1.0L);
+  const PowerSeries den = PowerSeries::monomial(N, 1.0L, 1);
+  EXPECT_THROW(num.dividedBy(den), std::invalid_argument);
+}
+
+TEST(PowerSeries, ShiftUpDown) {
+  const PowerSeries s = PowerSeries::constant(N, 3.0L);
+  const PowerSeries up = s.shifted_up(2);
+  EXPECT_EQ(up.coeff(2), 3.0L);
+  EXPECT_EQ(up.coeff(0), 0.0L);
+  EXPECT_EQ(up.shifted_down(2).coeff(0), 3.0L);
+  EXPECT_THROW(up.shifted_down(3), std::invalid_argument);
+}
+
+TEST(PowerSeries, EvaluateHorner) {
+  PowerSeries s(4);
+  s.set_coeff(0, 1.0L);
+  s.set_coeff(1, 2.0L);
+  s.set_coeff(2, 3.0L);
+  EXPECT_NEAR(static_cast<double>(s.evaluate(2.0L)), 1 + 4 + 12, 1e-15);
+}
+
+TEST(PowerSeries, PartialSum) {
+  const PowerSeries geo =
+      (PowerSeries::constant(N, 1.0L) - PowerSeries::monomial(N, 0.5L, 1)).inverse();
+  EXPECT_NEAR(static_cast<double>(geo.partial_sum(3)), 1.0 + 0.5 + 0.25, 1e-15);
+  EXPECT_NEAR(static_cast<double>(geo.partial_sum(0)), 0.0, 1e-15);
+}
+
+TEST(PowerSeries, MixedOrderArithmeticRejected) {
+  EXPECT_THROW(PowerSeries(4) + PowerSeries(5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,72 @@
+#include "fork/reach.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fork_fixtures.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Reach, GapIsHeightMinusLength) {
+  fixtures::Fig1 fig;
+  EXPECT_EQ(gap(fig.fork, fig.v9a), 0u);
+  EXPECT_EQ(gap(fig.fork, fig.v6a), 2u);
+  EXPECT_EQ(gap(fig.fork, kRoot), 6u);
+}
+
+TEST(Reach, ReserveCountsAdversarialSlotsAfterLabel) {
+  fixtures::Fig1 fig;  // w = hAhAhHAAH, adversarial slots {2, 4, 7, 8}
+  EXPECT_EQ(reserve(fig.fork, fig.w, kRoot), 4u);
+  EXPECT_EQ(reserve(fig.fork, fig.w, fig.v1), 4u);
+  EXPECT_EQ(reserve(fig.fork, fig.w, fig.v3), 3u);
+  EXPECT_EQ(reserve(fig.fork, fig.w, fig.v5), 2u);
+  EXPECT_EQ(reserve(fig.fork, fig.w, fig.v6a), 2u);
+  EXPECT_EQ(reserve(fig.fork, fig.w, fig.a7), 1u);
+  EXPECT_EQ(reserve(fig.fork, fig.w, fig.v9a), 0u);
+}
+
+TEST(Reach, ReachIsReserveMinusGap) {
+  fixtures::Fig1 fig;
+  EXPECT_EQ(reach(fig.fork, fig.w, fig.v9a), 0);
+  EXPECT_EQ(reach(fig.fork, fig.w, fig.v6a), 0);   // 2 - 2
+  EXPECT_EQ(reach(fig.fork, fig.w, kRoot), -2);    // 4 - 6
+  EXPECT_EQ(reach(fig.fork, fig.w, fig.a4b), -3);  // 2 - 5
+}
+
+TEST(Reach, MaxReachNonNegativeForClosedForks) {
+  // Any fork containing a maximum-length tine ending in an honest vertex has
+  // nonnegative max reach; Fig. 1's fork does (the honest 9s are longest).
+  fixtures::Fig1 fig;
+  EXPECT_EQ(max_reach(fig.fork, fig.w), 0);
+}
+
+TEST(Reach, TrivialForkReachEqualsAdversarialCount) {
+  const Fork f;
+  EXPECT_EQ(max_reach(f, CharString::parse("AAA")), 3);
+  EXPECT_EQ(max_reach(f, CharString::parse("")), 0);
+}
+
+TEST(Reach, AllReachesMatchesPointQueries) {
+  fixtures::Fig1 fig;
+  const auto reaches = all_reaches(fig.fork, fig.w);
+  ASSERT_EQ(reaches.size(), fig.fork.vertex_count());
+  for (VertexId v = 0; v < reaches.size(); ++v)
+    EXPECT_EQ(reaches[v], reach(fig.fork, fig.w, v));
+}
+
+TEST(Reach, ParentChildRelation) {
+  // Exactly: reach(child) = reach(parent) + 1 - #A((l(parent), l(child)]).
+  // (In particular a child extends its parent's reach by one whenever it
+  // consumes exactly one adversarial index, the "conservative" case.)
+  fixtures::Fig1 fig;
+  const auto reaches = all_reaches(fig.fork, fig.w);
+  for (VertexId v = 1; v < fig.fork.vertex_count(); ++v) {
+    const VertexId p = fig.fork.parent(v);
+    const std::int64_t consumed = static_cast<std::int64_t>(
+        fig.w.count_adversarial(fig.fork.label(p) + 1, fig.fork.label(v)));
+    EXPECT_EQ(reaches[v], reaches[p] + 1 - consumed) << "vertex " << v;
+  }
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,87 @@
+#include "core/reach_distribution.hpp"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "core/relative_margin.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+namespace {
+
+TEST(ReachDistribution, BetaFormula) {
+  const SymbolLaw law = bernoulli_condition(0.2, 0.3);  // pA = 0.4
+  EXPECT_NEAR(static_cast<double>(reach_beta(law)), 0.4 / 0.6, 1e-12);
+}
+
+TEST(ReachDistribution, StationaryIsGeometric) {
+  const SymbolLaw law = bernoulli_condition(0.5, 0.3);  // pA = 0.25, beta = 1/3
+  const ReachPmf pmf = stationary_reach_distribution(law, 50);
+  EXPECT_NEAR(static_cast<double>(pmf.mass[0]), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pmf.mass[1]), 2.0 / 9.0, 1e-12);
+  EXPECT_NEAR(static_cast<double>(pmf.total()), 1.0, 1e-15);
+  // The tail is exactly beta^{cap+1}.
+  EXPECT_NEAR(static_cast<double>(pmf.tail), std::pow(1.0 / 3.0, 51), 1e-30);
+}
+
+TEST(ReachDistribution, FiniteLawSumsToOne) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.2);
+  for (std::size_t m : {0u, 1u, 5u, 40u}) {
+    const ReachPmf pmf = finite_reach_distribution(law, m, 64);
+    EXPECT_NEAR(static_cast<double>(pmf.total()), 1.0, 1e-14) << m;
+  }
+}
+
+TEST(ReachDistribution, FiniteMatchesRecurrenceSimulation) {
+  const SymbolLaw law = bernoulli_condition(0.4, 0.3);
+  const std::size_t m = 24;
+  const ReachPmf pmf = finite_reach_distribution(law, m, 64);
+  Rng rng(321);
+  std::vector<std::size_t> counts(65, 0);
+  const std::size_t samples = 200'000;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const CharString x = law.sample_string(m, rng);
+    ++counts[static_cast<std::size_t>(rho_of(x))];
+  }
+  for (std::size_t r = 0; r <= 10; ++r) {
+    const double expected = static_cast<double>(pmf.mass[r]);
+    const double observed = static_cast<double>(counts[r]) / samples;
+    EXPECT_NEAR(observed, expected, 0.01) << "r = " << r;
+  }
+}
+
+TEST(ReachDistribution, FiniteDominatedByStationary) {
+  // [4, Lemma 6.1]: X_m <= X_inf for every m.
+  const SymbolLaw law = bernoulli_condition(0.2, 0.4);
+  const ReachPmf stationary = stationary_reach_distribution(law, 128);
+  for (std::size_t m : {1u, 4u, 16u, 64u, 128u}) {
+    const ReachPmf finite = finite_reach_distribution(law, m, 128);
+    EXPECT_TRUE(pmf_dominated(finite, stationary)) << "m = " << m;
+  }
+}
+
+TEST(ReachDistribution, FiniteConvergesToStationary) {
+  const SymbolLaw law = bernoulli_condition(0.4, 0.3);
+  const ReachPmf stationary = stationary_reach_distribution(law, 256);
+  const ReachPmf finite = finite_reach_distribution(law, 256, 256);
+  for (std::size_t r = 0; r <= 20; ++r)
+    EXPECT_NEAR(static_cast<double>(finite.mass[r]),
+                static_cast<double>(stationary.mass[r]), 1e-6)
+        << r;
+}
+
+TEST(ReachDistribution, UpperTail) {
+  ReachPmf pmf;
+  pmf.mass = {0.5L, 0.25L, 0.125L};
+  pmf.tail = 0.125L;
+  EXPECT_NEAR(static_cast<double>(pmf.upper_tail(0)), 0.5, 1e-15);
+  EXPECT_NEAR(static_cast<double>(pmf.upper_tail(2)), 0.125, 1e-15);
+}
+
+TEST(ReachDistribution, CapMustCoverM) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.2);
+  EXPECT_THROW(finite_reach_distribution(law, 65, 64), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh

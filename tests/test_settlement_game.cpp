@@ -1,0 +1,169 @@
+#include "core/settlement_game.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+#include "core/astar.hpp"
+#include "core/relative_margin.hpp"
+#include "fork/margin.hpp"
+#include "fork/reach.hpp"
+#include "core/uvp.hpp"
+#include "fork/validate.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+namespace {
+
+class NullStrategy : public ForkAdversary {};
+
+TEST(SettlementGame, ChallengerBuildsLinearChainAgainstNull) {
+  NullStrategy null;
+  const CharString w = CharString::parse("hhHh");
+  const Fork fork = play_settlement_game(w, null);
+  EXPECT_TRUE(validate_fork(fork, w).ok);
+  EXPECT_EQ(fork.height(), 4u);
+  // The null strategy never doubles H slots: one vertex per slot.
+  EXPECT_EQ(fork.vertex_count(), 5u);
+}
+
+TEST(SettlementGame, AdversarialSlotsLeftIdleByNull) {
+  NullStrategy null;
+  const CharString w = CharString::parse("hAAh");
+  const Fork fork = play_settlement_game(w, null);
+  EXPECT_EQ(fork.vertices_with_label(2).size(), 0u);
+  EXPECT_EQ(fork.vertices_with_label(3).size(), 0u);
+  EXPECT_EQ(fork.height(), 2u);
+}
+
+TEST(SettlementGame, MultiplicityIsClampedToAtLeastOne) {
+  class ZeroMultiplicity : public ForkAdversary {
+    std::size_t honest_multiplicity(std::size_t, const Fork&, const CharString&) override {
+      return 0;  // illegal; the challenger clamps to 1 (F3 requires >= 1)
+    }
+  } strategy;
+  const Fork fork = play_settlement_game(CharString::parse("HH"), strategy);
+  EXPECT_EQ(fork.vertices_with_label(1).size(), 1u);
+  EXPECT_EQ(fork.vertices_with_label(2).size(), 1u);
+}
+
+TEST(SettlementGame, IllegalTipChoiceRejected) {
+  class CheatingStrategy : public ForkAdversary {
+    VertexId choose_tip(std::size_t, std::size_t, const std::vector<VertexId>&, const Fork& f,
+                        const CharString&) override {
+      // Pick a non-maximal tine once the fork is two levels deep.
+      return f.height() >= 2 ? 1 : kRoot;
+    }
+  } strategy;
+  EXPECT_THROW(play_settlement_game(CharString::parse("hhh"), strategy),
+               std::invalid_argument);
+}
+
+TEST(SettlementGame, ConsistentTieBreakingIgnoresAdversaryChoice) {
+  // Two branches of equal length; under A0' both H leaders extend the same
+  // deterministic choice, so no balance can form without adversarial slots.
+  GreedyBalanceStrategy greedy;
+  GameOptions options;
+  options.consistent_tie_breaking = true;
+  const CharString w = CharString::parse("HHHHHH");
+  const Fork fork = play_settlement_game(w, greedy, options);
+  EXPECT_TRUE(validate_fork(fork, w).ok);
+  EXPECT_FALSE(adversary_wins(fork, w, 1, 4));
+}
+
+TEST(SettlementGame, GreedyBalanceWinsOnAllHUnderA0) {
+  GreedyBalanceStrategy greedy;
+  const CharString w = CharString::parse("HHHHHH");
+  const Fork fork = play_settlement_game(w, greedy);
+  EXPECT_TRUE(validate_fork(fork, w).ok);
+  EXPECT_TRUE(adversary_wins(fork, w, 1, 4));
+}
+
+TEST(SettlementGame, WinRequiresQualifyingObservationTime) {
+  GreedyBalanceStrategy greedy;
+  const CharString w = CharString::parse("HH");
+  const Fork fork = play_settlement_game(w, greedy);
+  EXPECT_FALSE(adversary_wins(fork, w, 1, 4));  // |w| < s + k
+}
+
+// The headline equivalence: playing A* through the game interface reproduces
+// the canonical fork's margins — the game model, the Figure-4 strategy, and
+// the Theorem-5 recurrence are one consistent story.
+struct GameCase {
+  double eps, ph;
+  std::size_t n;
+};
+
+class AStarThroughGame : public ::testing::TestWithParam<GameCase> {};
+
+TEST_P(AStarThroughGame, ReproducesCanonicalMargins) {
+  const auto [eps, ph, n] = GetParam();
+  const SymbolLaw law = bernoulli_condition(eps, ph);
+  Rng rng(424243);
+  for (int trial = 0; trial < 12; ++trial) {
+    const CharString w = law.sample_string(n, rng);
+    AStarGameStrategy astar;
+    const Fork fork = play_settlement_game(w, astar);
+    ASSERT_TRUE(validate_fork(fork, w).ok) << w.to_string();
+    ASSERT_EQ(max_reach(fork, w), rho_of(w)) << w.to_string();
+    for (std::size_t x = 0; x <= w.size(); x += 2)
+      ASSERT_EQ(relative_margin(fork, w, x), relative_margin_recurrence(w, x))
+          << "w = " << w.to_string() << " x = " << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, AStarThroughGame,
+                         ::testing::Values(GameCase{0.3, 0.3, 32}, GameCase{0.1, 0.15, 48},
+                                           GameCase{0.5, 0.4, 24}, GameCase{0.2, 0.0, 40}));
+
+// No strategy may beat the recurrence: whenever any strategy wins the (s, k)
+// game on w, the optimal margin must be nonnegative at some qualifying time.
+TEST(SettlementGame, GreedyNeverBeatsTheRecurrence) {
+  const SymbolLaw law = bernoulli_condition(0.2, 0.25);
+  Rng rng(515);
+  for (int trial = 0; trial < 40; ++trial) {
+    const CharString w = law.sample_string(24, rng);
+    GreedyBalanceStrategy greedy;
+    const Fork fork = play_settlement_game(w, greedy);
+    ASSERT_TRUE(validate_fork(fork, w).ok) << w.to_string();
+    for (std::size_t s = 1; s + 4 <= w.size(); ++s) {
+      if (adversary_wins(fork, w, s, 4)) {
+        // Definition 3 divergence at the final fork implies the structural
+        // margin over x = w_1..w_{s-1} is >= 0 there, which the recurrence
+        // upper-bounds (Proposition 1).
+        ASSERT_GE(relative_margin_recurrence(w, s - 1), 0)
+            << "greedy beat the optimal bound on " << w.to_string() << " at s = " << s;
+      }
+    }
+  }
+}
+
+
+// Theorem 4 through the game: on bivalent strings under A0\', two consecutive
+// Catalan slots grant the earlier one the structural UVP in the played fork,
+// no matter the strategy.
+TEST(SettlementGame, Theorem4StructuralUvpUnderConsistentTieBreaking) {
+  const SymbolLaw law = bernoulli_condition(0.3, 0.0);  // bivalent: ph = 0
+  Rng rng(909090);
+  GameOptions options;
+  options.consistent_tie_breaking = true;
+  int checked = 0;
+  for (int trial = 0; trial < 30; ++trial) {
+    const CharString w = law.sample_string(20, rng);
+    GreedyBalanceStrategy greedy;
+    const Fork fork = play_settlement_game(w, greedy, options);
+    ASSERT_TRUE(validate_fork(fork, w).ok) << w.to_string();
+    for (std::size_t s = 1; s + 1 <= w.size(); ++s) {
+      if (!has_uvp_consecutive_catalan(w, s)) continue;
+      ++checked;
+      // The first slot's siblings stay viable one extra slot: its unique
+      // vertex binds from onset s + 2 (see uvp_holds_in_fork's contract).
+      ASSERT_TRUE(uvp_holds_in_fork(fork, w, s, s + 2))
+          << "Theorem 4 failed at s = " << s << " on " << w.to_string();
+      ASSERT_TRUE(uvp_holds_in_fork(fork, w, s + 1, s + 3))
+          << "Theorem 4 failed at s+1 = " << s + 1 << " on " << w.to_string();
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+}  // namespace
+}  // namespace mh

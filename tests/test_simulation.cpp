@@ -1,0 +1,96 @@
+#include "protocol/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Simulation, HonestOnlyGrowsOneBlockPerActiveSlot) {
+  // With no adversary and instant delivery, every slot with honest leaders
+  // deepens the common chain by exactly one.
+  const SymbolLaw law{0.6, 0.4, 0.0};  // no adversarial slots
+  Rng rng(21);
+  const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 100, 6, rng);
+  Simulation sim(schedule, SimulationConfig{TieBreak::ConsistentHash, 1}, 0, nullptr);
+  sim.run();
+  std::size_t active = 0;
+  for (std::size_t t = 1; t <= 100; ++t)
+    if (!schedule.leaders(t).honest.empty()) ++active;
+  for (const HonestNode& node : sim.nodes())
+    EXPECT_EQ(node.best_length(), active);
+}
+
+TEST(Simulation, HonestOnlyNoViolations) {
+  const SymbolLaw law{0.5, 0.5, 0.0};
+  Rng rng(22);
+  const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 150, 5, rng);
+  for (TieBreak rule : {TieBreak::ConsistentHash, TieBreak::AdversarialOrder}) {
+    Simulation sim(schedule, SimulationConfig{rule, 7}, 0, nullptr);
+    sim.run();
+    EXPECT_FALSE(sim.observed_settlement_violation(1));
+    EXPECT_FALSE(sim.observed_cp_slot_violation(10));
+    EXPECT_EQ(sim.observed_slot_divergence(), 0u);
+  }
+}
+
+TEST(Simulation, ConcurrentLeadersForkThenConverge) {
+  // Hand schedule: slot 1 has two honest leaders (both extend genesis), slot 2
+  // has one leader (all views agree next slot).
+  std::vector<SlotLeaders> slots(2);
+  slots[0].honest = {0, 1};
+  slots[1].honest = {2};
+  const LeaderSchedule schedule(std::move(slots), 3);
+  Simulation sim(schedule, SimulationConfig{TieBreak::ConsistentHash, 1}, 0, nullptr);
+  sim.run_until(1);
+  // Two concurrent blocks at depth 1 exist globally.
+  EXPECT_EQ(sim.global_tree().max_length_heads().size(), 2u);
+  sim.run();
+  // The slot-2 leader extended the consistent choice; chains have length 2.
+  for (const HonestNode& node : sim.nodes()) EXPECT_EQ(node.best_length(), 2u);
+  EXPECT_FALSE(sim.observed_settlement_violation(1));
+}
+
+TEST(Simulation, DeltaDelaysDoNotLoseBlocks) {
+  const SymbolLaw law{0.7, 0.3, 0.0};
+  Rng rng(23);
+  const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 80, 4, rng);
+  // Null adversary => no extra delays even with delta > 0.
+  Simulation sim(schedule, SimulationConfig{TieBreak::ConsistentHash, 2}, 3, nullptr);
+  sim.run();
+  for (const HonestNode& node : sim.nodes())
+    EXPECT_EQ(node.tree().block_count(), sim.global_tree().block_count());
+}
+
+TEST(Simulation, MintRequiresAdversarialSlot) {
+  std::vector<SlotLeaders> slots(2);
+  slots[0].honest = {0};
+  slots[1].adversarial = true;
+  const LeaderSchedule schedule(std::move(slots), 2);
+  Simulation sim(schedule, SimulationConfig{}, 0, nullptr);
+  sim.run_until(1);
+  EXPECT_THROW(sim.mint_adversarial(genesis_block().hash, 1, 0), std::invalid_argument);
+  const Block minted = sim.mint_adversarial(genesis_block().hash, 2, 0);
+  EXPECT_TRUE(sim.global_tree().contains(minted.hash));
+  // Minted blocks are private until injected.
+  for (const HonestNode& node : sim.nodes())
+    EXPECT_FALSE(node.tree().contains(minted.hash));
+}
+
+TEST(Simulation, RunUntilIsIncremental) {
+  const SymbolLaw law{1.0, 0.0, 0.0};
+  Rng rng(24);
+  const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 50, 3, rng);
+  Simulation sim(schedule, SimulationConfig{}, 0, nullptr);
+  sim.run_until(10);
+  EXPECT_EQ(sim.current_slot(), 10u);
+  sim.run_until(10);  // no-op
+  EXPECT_EQ(sim.current_slot(), 10u);
+  sim.run();
+  EXPECT_EQ(sim.current_slot(), 50u);
+  EXPECT_THROW(sim.run_until(51), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,97 @@
+#include "support/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mh {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+}
+
+TEST(RunningStats, SingleObservationHasZeroVariance) {
+  RunningStats s;
+  s.add(3.14);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderror(), 0.0);
+}
+
+TEST(Wilson, CenteredForHalf) {
+  const Proportion p = wilson_interval(500, 1000);
+  EXPECT_NEAR(p.estimate, 0.5, 1e-12);
+  EXPECT_LT(p.lo, 0.5);
+  EXPECT_GT(p.hi, 0.5);
+  EXPECT_NEAR(p.hi - p.lo, 2 * 2.5758 * std::sqrt(0.25 / 1000), 0.005);
+}
+
+TEST(Wilson, ZeroSuccessesStillPositiveUpper) {
+  const Proportion p = wilson_interval(0, 1000);
+  EXPECT_EQ(p.estimate, 0.0);
+  EXPECT_EQ(p.lo, 0.0);
+  EXPECT_GT(p.hi, 0.0);
+  EXPECT_LT(p.hi, 0.02);
+}
+
+TEST(Wilson, AllSuccesses) {
+  const Proportion p = wilson_interval(100, 100);
+  EXPECT_EQ(p.estimate, 1.0);
+  EXPECT_LT(p.lo, 1.0);
+  EXPECT_EQ(p.hi, 1.0);
+}
+
+TEST(Wilson, RejectsBadInput) {
+  EXPECT_THROW(wilson_interval(5, 0), std::invalid_argument);
+  EXPECT_THROW(wilson_interval(11, 10), std::invalid_argument);
+}
+
+TEST(ChiSquare, PerfectFitIsSmall) {
+  const std::vector<std::size_t> observed{250, 250, 250, 250};
+  const std::vector<double> expected{0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(chi_square_statistic(observed, expected), 0.0, 1e-12);
+}
+
+TEST(ChiSquare, DetectsGrossMisfit) {
+  const std::vector<std::size_t> observed{900, 50, 25, 25};
+  const std::vector<double> expected{0.25, 0.25, 0.25, 0.25};
+  EXPECT_GT(chi_square_statistic(observed, expected), chi_square_critical(3));
+}
+
+TEST(ChiSquare, CriticalValuesRoughlyStandard) {
+  // chi2_{0.99, 3} ~ 11.34, chi2_{0.99, 10} ~ 23.21.
+  EXPECT_NEAR(chi_square_critical(3, 0.01), 11.34, 0.8);
+  EXPECT_NEAR(chi_square_critical(10, 0.01), 23.21, 0.8);
+}
+
+TEST(LeastSquares, RecoversExactLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = least_squares(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+}
+
+TEST(DecayRate, RecoversExponentialRate) {
+  std::vector<double> k, p;
+  for (int i = 1; i <= 20; ++i) {
+    k.push_back(10.0 * i);
+    p.push_back(std::exp(-0.05 * 10.0 * i));
+  }
+  EXPECT_NEAR(fitted_decay_rate(k, p), 0.05, 1e-10);
+}
+
+TEST(DecayRate, IgnoresZeroProbabilities) {
+  const std::vector<double> k{10, 20, 30, 40};
+  const std::vector<double> p{std::exp(-1.0), 0.0, std::exp(-3.0), std::exp(-4.0)};
+  EXPECT_NEAR(fitted_decay_rate(k, p), 0.1, 1e-10);
+}
+
+}  // namespace
+}  // namespace mh

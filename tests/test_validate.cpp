@@ -1,0 +1,120 @@
+#include "fork/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fork_fixtures.hpp"
+
+namespace mh {
+namespace {
+
+TEST(Validate, FigureForksAreValid) {
+  fixtures::Fig1 fig1;
+  EXPECT_TRUE(validate_fork(fig1.fork, fig1.w)) << validate_fork(fig1.fork, fig1.w).message;
+  fixtures::Fig2 fig2;
+  EXPECT_TRUE(validate_fork(fig2.fork, fig2.w).ok);
+  fixtures::Fig3 fig3;
+  EXPECT_TRUE(validate_fork(fig3.fork, fig3.w).ok);
+}
+
+TEST(Validate, TrivialForkValidForAnyString) {
+  const Fork f;
+  // (F3) requires honest slots to be populated, so only all-adversarial
+  // strings admit the trivial fork.
+  EXPECT_TRUE(validate_fork(f, CharString::parse("AAA")).ok);
+  EXPECT_FALSE(validate_fork(f, CharString::parse("AhA")).ok);
+}
+
+TEST(Validate, F2LabelBeyondString) {
+  Fork f;
+  f.add_vertex(kRoot, 4);
+  const auto result = validate_fork(f, CharString::parse("AAA"));
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("(F2)"), std::string::npos);
+}
+
+TEST(Validate, F3UniquelyHonestSlotNeedsExactlyOneVertex) {
+  const CharString w = CharString::parse("hA");
+  {
+    Fork f;  // zero vertices at slot 1
+    EXPECT_FALSE(validate_fork(f, w).ok);
+  }
+  {
+    Fork f;  // two vertices at slot 1
+    f.add_vertex(kRoot, 1);
+    f.add_vertex(kRoot, 1);
+    const auto result = validate_fork(f, w);
+    EXPECT_FALSE(result.ok);
+    EXPECT_NE(result.message.find("(F3)"), std::string::npos);
+  }
+  {
+    Fork f;
+    f.add_vertex(kRoot, 1);
+    EXPECT_TRUE(validate_fork(f, w).ok);
+  }
+}
+
+TEST(Validate, F3MultiplyHonestSlotNeedsAtLeastOne) {
+  const CharString w = CharString::parse("HA");
+  Fork f;
+  EXPECT_FALSE(validate_fork(f, w).ok);
+  f.add_vertex(kRoot, 1);
+  EXPECT_TRUE(validate_fork(f, w).ok);
+  f.add_vertex(kRoot, 1);
+  EXPECT_TRUE(validate_fork(f, w).ok);  // several honest blocks are fine
+}
+
+TEST(Validate, F4HonestDepthsMustIncrease) {
+  const CharString w = CharString::parse("hh");
+  Fork f;
+  f.add_vertex(kRoot, 1);
+  f.add_vertex(kRoot, 2);  // depth 1 == depth 1: violates (F4)
+  const auto result = validate_fork(f, w);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.message.find("(F4)"), std::string::npos);
+
+  Fork g;
+  const VertexId a = g.add_vertex(kRoot, 1);
+  g.add_vertex(a, 2);
+  EXPECT_TRUE(validate_fork(g, w).ok);
+}
+
+TEST(Validate, F4EqualLabelsExempt) {
+  // Two honest vertices of one H slot may sit at different depths.
+  const CharString w = CharString::parse("AH");
+  Fork f;
+  const VertexId a = f.add_vertex(kRoot, 1);
+  f.add_vertex(a, 2);
+  f.add_vertex(kRoot, 2);
+  EXPECT_TRUE(validate_fork(f, w).ok);
+}
+
+TEST(Validate, DeltaRelaxationAllowsNearbyEqualDepths) {
+  const CharString w = CharString::parse("hh");
+  Fork f;
+  f.add_vertex(kRoot, 1);
+  f.add_vertex(kRoot, 2);  // equal depths, 1 slot apart
+  EXPECT_FALSE(validate_fork(f, w, 0).ok);
+  EXPECT_TRUE(validate_fork(f, w, 1).ok);   // 1 + 1 is not < 2
+  EXPECT_TRUE(validate_fork(f, w, 5).ok);
+}
+
+TEST(Validate, DeltaStillConstrainsFarApartSlots) {
+  const CharString w = CharString::parse("hAAAh");
+  Fork f;
+  f.add_vertex(kRoot, 1);
+  f.add_vertex(kRoot, 5);  // equal depths, 4 slots apart
+  EXPECT_TRUE(validate_fork(f, w, 4).ok);
+  EXPECT_FALSE(validate_fork(f, w, 3).ok);
+}
+
+TEST(Validate, AdversarialMultiplicityUnconstrained) {
+  const CharString w = CharString::parse("Ah");
+  Fork f;
+  const VertexId a1 = f.add_vertex(kRoot, 1);
+  f.add_vertex(kRoot, 1);
+  f.add_vertex(a1, 2);
+  EXPECT_TRUE(validate_fork(f, w).ok);
+}
+
+}  // namespace
+}  // namespace mh

@@ -1,0 +1,61 @@
+#include "chars/walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "chars/bernoulli.hpp"
+#include "support/random.hpp"
+
+namespace mh {
+namespace {
+
+TEST(CharWalk, PositionsMatchHandComputation) {
+  // w = hAhAhHAAH: steps -1 +1 -1 +1 -1 -1 +1 +1 -1.
+  const CharWalk walk(CharString::parse("hAhAhHAAH"));
+  const std::int64_t expected[] = {0, -1, 0, -1, 0, -1, -2, -1, 0, -1};
+  for (std::size_t t = 0; t <= 9; ++t) EXPECT_EQ(walk.position(t), expected[t]) << t;
+}
+
+TEST(CharWalk, PositionEqualsAdversarialMinusHonest) {
+  Rng rng(5);
+  const SymbolLaw law = bernoulli_condition(0.2, 0.3);
+  for (int trial = 0; trial < 20; ++trial) {
+    const CharString w = law.sample_string(64, rng);
+    const CharWalk walk(w);
+    for (std::size_t t = 1; t <= w.size(); ++t) {
+      const std::int64_t expected = static_cast<std::int64_t>(w.count_adversarial(1, t)) -
+                                    static_cast<std::int64_t>(w.count_honest(1, t));
+      EXPECT_EQ(walk.position(t), expected);
+    }
+  }
+}
+
+TEST(CharWalk, PrefixMinAndSuffixMax) {
+  const CharWalk walk(CharString::parse("hAhAhHAAH"));
+  EXPECT_EQ(walk.prefix_min(0), 0);
+  EXPECT_EQ(walk.prefix_min(5), -1);
+  EXPECT_EQ(walk.prefix_min(6), -2);
+  EXPECT_EQ(walk.suffix_max(6), 0);
+  EXPECT_EQ(walk.suffix_max(9), -1);
+}
+
+TEST(CharWalk, StrictNewMinimumDetectsHeavyPrefixes) {
+  // An interval [l, s] is hH-heavy iff S_s - S_{l-1} < 0; a strict new minimum
+  // at s makes every such interval heavy.
+  const CharString w = CharString::parse("hAhAhHAAH");
+  const CharWalk walk(w);
+  for (std::size_t s = 1; s <= w.size(); ++s) {
+    bool all_heavy = true;
+    for (std::size_t l = 1; l <= s; ++l)
+      if (!w.hH_heavy(l, s)) all_heavy = false;
+    EXPECT_EQ(walk.strict_new_minimum(s), all_heavy) << "slot " << s;
+  }
+}
+
+TEST(CharWalk, BoundsChecked) {
+  const CharWalk walk(CharString::parse("hA"));
+  EXPECT_THROW(static_cast<void>(walk.position(3)), std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(walk.strict_new_minimum(0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh

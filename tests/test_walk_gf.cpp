@@ -1,0 +1,112 @@
+#include "genfunc/walk_gf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mh {
+namespace {
+
+constexpr std::size_t N = 200;
+
+TEST(WalkGF, DescentSatisfiesFunctionalEquation) {
+  // D = qZ + pZ D^2.
+  const WalkGF walk(0.3L);
+  const PowerSeries d = walk.descent_series(N);
+  const PowerSeries rhs = PowerSeries::monomial(N, walk.q, 1) +
+                          (d * d).shifted_up(1).scaled(walk.p);
+  for (std::size_t i = 0; i <= N; ++i)
+    ASSERT_NEAR(static_cast<double>(d.coeff(i)), static_cast<double>(rhs.coeff(i)), 1e-15)
+        << i;
+}
+
+TEST(WalkGF, AscentSatisfiesFunctionalEquation) {
+  // A = pZ + qZ A^2.
+  const WalkGF walk(0.25L);
+  const PowerSeries a = walk.ascent_series(N);
+  const PowerSeries rhs = PowerSeries::monomial(N, walk.p, 1) +
+                          (a * a).shifted_up(1).scaled(walk.q);
+  for (std::size_t i = 0; i <= N; ++i)
+    ASSERT_NEAR(static_cast<double>(a.coeff(i)), static_cast<double>(rhs.coeff(i)), 1e-15)
+        << i;
+}
+
+TEST(WalkGF, DescentIsProbabilityGF) {
+  // D(1) = 1: the biased walk descends almost surely. Truncation leaves a
+  // geometric tail, so allow slack.
+  const WalkGF walk(0.2L);
+  const PowerSeries d = walk.descent_series(2000);
+  EXPECT_NEAR(static_cast<double>(d.partial_sum(2001)), 1.0, 1e-6);
+  for (std::size_t i = 0; i <= 100; ++i) EXPECT_GE(d.coeff(i), 0.0L);
+}
+
+TEST(WalkGF, AscentIsDefective) {
+  // A(1) = p/q < 1: the walk may never ascend.
+  const WalkGF walk(0.2L);
+  const PowerSeries a = walk.ascent_series(4000);
+  EXPECT_NEAR(static_cast<double>(a.partial_sum(4001)),
+              static_cast<double>(walk.p / walk.q), 1e-6);
+}
+
+TEST(WalkGF, ClosedFormMatchesSeriesEvaluation) {
+  const WalkGF walk(0.35L);
+  const PowerSeries d = walk.descent_series(600);
+  const PowerSeries a = walk.ascent_series(600);
+  for (long double z : {0.1L, 0.5L, 0.9L, 1.0L}) {
+    EXPECT_NEAR(static_cast<double>(*walk.descent_eval(z)),
+                static_cast<double>(d.evaluate(z)), 1e-9);
+    EXPECT_NEAR(static_cast<double>(*walk.ascent_eval(z)),
+                static_cast<double>(a.evaluate(z)), 1e-9);
+  }
+}
+
+TEST(WalkGF, EvalOutsideDomainIsNull) {
+  const WalkGF walk(0.4L);
+  const long double radius = walk.walk_radius();
+  EXPECT_FALSE(walk.descent_eval(radius + 0.01L).has_value());
+  EXPECT_TRUE(walk.descent_eval(radius - 0.01L).has_value());
+}
+
+TEST(WalkGF, WalkRadiusFormula) {
+  const WalkGF walk(0.25L);  // eps = 0.5, radius 1/sqrt(1 - eps^2)
+  EXPECT_NEAR(static_cast<double>(walk.walk_radius()), 1.0 / std::sqrt(0.75), 1e-12);
+}
+
+TEST(WalkGF, CompositionMatchesPointwise) {
+  // A(Z D(Z)) series vs closed-form evaluation.
+  const WalkGF walk(0.3L);
+  const PowerSeries azd = walk.ascent_of_zd(800);
+  for (long double z : {0.2L, 0.6L, 0.95L}) {
+    EXPECT_NEAR(static_cast<double>(*walk.ascent_of_zd_eval(z)),
+                static_cast<double>(azd.evaluate(z)), 1e-9)
+        << static_cast<double>(z);
+  }
+}
+
+TEST(WalkGF, CompositeRadiusBetweenOneAndWalkRadius) {
+  for (long double p : {0.1L, 0.25L, 0.4L, 0.45L}) {
+    const WalkGF walk(p);
+    const long double r1 = walk.composite_radius();
+    EXPECT_GT(r1, 1.0L);
+    EXPECT_LT(r1, walk.walk_radius());
+  }
+}
+
+TEST(WalkGF, CompositeRadiusMatchesPaperAsymptotics) {
+  // Eq. (5): R1 = 1 + eps^3/2 + O(eps^4).
+  for (double eps : {0.05, 0.1, 0.2}) {
+    const WalkGF walk(static_cast<long double>((1.0 - eps) / 2.0));
+    const double r1 = static_cast<double>(walk.composite_radius());
+    const double predicted = 1.0 + eps * eps * eps / 2.0;
+    EXPECT_NEAR(r1, predicted, eps * eps * eps * eps * 4.0) << eps;
+  }
+}
+
+TEST(WalkGF, RejectsDegenerateBias) {
+  EXPECT_THROW(WalkGF(0.0L), std::invalid_argument);
+  EXPECT_THROW(WalkGF(0.5L), std::invalid_argument);
+  EXPECT_THROW(WalkGF(0.7L), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mh
