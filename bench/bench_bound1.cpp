@@ -14,6 +14,7 @@
 #include "core/bounds.hpp"
 #include "core/catalan.hpp"
 #include "core/exact_dp.hpp"
+#include "engine/thread_pool.hpp"
 #include "genfunc/catalan_gf.hpp"
 #include "sim/monte_carlo.hpp"
 #include "support/table.hpp"
@@ -41,6 +42,7 @@ void bound1_report() {
     mh::McOptions opt;
     opt.samples = 40'000;
     opt.seed = 2020;
+    opt.threads = mh::engine::threads_from_env();
     std::vector<double> xs, gf_tail, dp_p;
     for (std::size_t k : ks) {
       const mh::Proportion mc = mh::mc_no_unique_catalan(law, k, opt);
@@ -83,6 +85,7 @@ BENCHMARK(BM_CatalanFlagsLinear)->Arg(1024)->Arg(65536);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mh::engine::print_thread_banner();
   bound1_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

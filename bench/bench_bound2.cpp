@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/bounds.hpp"
+#include "engine/thread_pool.hpp"
 #include "genfunc/consecutive_gf.hpp"
 #include "sim/monte_carlo.hpp"
 #include "support/table.hpp"
@@ -28,6 +29,7 @@ void bound2_report() {
     mh::McOptions opt;
     opt.samples = 40'000;
     opt.seed = 2021;
+    opt.threads = mh::engine::threads_from_env();
 
     mh::TextTable table({"k", "GF tail (bound)", "MC estimate [lo, hi]"});
     std::vector<double> xs, tails;
@@ -58,6 +60,7 @@ BENCHMARK(BM_ConsecutiveGF)->Arg(256)->Arg(1024)->Arg(4096);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mh::engine::print_thread_banner();
   bound2_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

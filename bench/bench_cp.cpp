@@ -9,6 +9,7 @@
 
 #include "core/astar.hpp"
 #include "core/cp.hpp"
+#include "engine/engine.hpp"
 #include "sim/monte_carlo.hpp"
 #include "support/table.hpp"
 
@@ -21,20 +22,24 @@ void cp_report() {
   mh::McOptions opt;
   opt.samples = 4'000;
   opt.seed = 4040;
+  opt.threads = mh::engine::threads_from_env();
   mh::TextTable table(
       {"k", "T x Bound1 tail", "MC bad-window freq [lo, hi]", "A* fork CP violations"});
-  mh::Rng rng(515151);
   for (std::size_t k : {10u, 20u, 30u, 45u, 60u}) {
     const mh::Proportion mc = mh::mc_cp_window_failure(law, horizon, k, opt);
 
-    // Structural: run A* on shorter strings and check the canonical fork.
+    // Structural: run A* on shorter strings and check the canonical fork,
+    // sharded over the engine (same strings for every k via a fixed root seed).
     const std::size_t fork_trials = 150, fork_len = 120;
-    std::size_t violations = 0;
-    for (std::size_t trial = 0; trial < fork_trials; ++trial) {
-      const mh::CharString w = law.sample_string(fork_len, rng);
-      const mh::Fork fork = mh::build_canonical_fork(w);
-      if (!mh::satisfies_k_cp_slot(fork, w, k)) ++violations;
-    }
+    mh::engine::EngineOptions fork_opt;
+    fork_opt.seed = 515151;
+    fork_opt.threads = opt.threads;
+    const std::size_t violations = mh::engine::run_sharded<std::size_t>(
+        fork_trials, fork_opt, [&](std::uint64_t, mh::Rng& rng, std::size_t& bad) {
+          const mh::CharString w = law.sample_string(fork_len, rng);
+          const mh::Fork fork = mh::build_canonical_fork(w);
+          if (!mh::satisfies_k_cp_slot(fork, w, k)) ++bad;
+        });
     table.add_row({std::to_string(k),
                    mh::paper_scientific(mh::theorem8_bound(law, horizon, k)),
                    "[" + mh::paper_scientific(mc.lo) + ", " + mh::paper_scientific(mc.hi) + "]",
@@ -64,6 +69,7 @@ BENCHMARK(BM_SlotDivergence);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mh::engine::print_thread_banner();
   cp_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "delta/delta_settlement.hpp"
+#include "engine/thread_pool.hpp"
 #include "sim/monte_carlo.hpp"
 #include "support/table.hpp"
 
@@ -35,6 +36,7 @@ void delta_sweep() {
   mh::McOptions opt;
   opt.samples = 3'000;
   opt.seed = 777;
+  opt.threads = mh::engine::threads_from_env();
   mh::TextTable table({"Delta", "k", "Theorem-7 bound", "MC certificate failure [lo, hi]"});
   for (std::size_t delta : {0u, 2u, 4u}) {
     for (std::size_t k : {40u, 80u, 160u}) {
@@ -66,6 +68,7 @@ BENCHMARK(BM_Theorem7Bound);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mh::engine::print_thread_banner();
   delta_sweep();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

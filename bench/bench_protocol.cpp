@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "core/exact_dp.hpp"
+#include "engine/thread_pool.hpp"
 #include "sim/experiments.hpp"
 #include "support/table.hpp"
 
@@ -41,6 +42,7 @@ void attack_report() {
         config.honest_parties = 8;
         config.tie_break = rule;
         config.seed = 97;
+        config.threads = mh::engine::threads_from_env();
         const mh::ProtocolExperimentResult result =
             mh::run_protocol_experiment(lc.law, attack, 1, 20, config);
         table.add_row(
@@ -77,6 +79,7 @@ BENCHMARK(BM_SimulationSlotLoop)->Arg(100)->Arg(400)->Arg(1600);
 }  // namespace
 
 int main(int argc, char** argv) {
+  mh::engine::print_thread_banner();
   attack_report();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,106 @@
+#include "engine/thread_pool.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "support/check.hpp"
+
+namespace mh::engine {
+
+std::size_t default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::size_t resolve_threads(std::size_t threads) noexcept {
+  return threads == 0 ? default_threads() : threads;
+}
+
+std::size_t threads_from_env(std::size_t fallback) noexcept {
+  const char* raw = std::getenv("MH_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  // strtoull would wrap "-1" to 2^64-1; reject anything but plain digits.
+  for (const char* c = raw; *c != '\0'; ++c)
+    if (*c < '0' || *c > '9') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+void print_thread_banner() {
+  std::printf("engine: %zu thread(s) (MH_THREADS to override)\n\n",
+              resolve_threads(threads_from_env()));
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  MH_REQUIRE(threads >= 1);
+  workers_.reserve(threads - 1);
+  for (std::size_t i = 0; i + 1 < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::for_each_chunk(std::size_t n_chunks,
+                                const std::function<void(std::size_t)>& body) {
+  if (n_chunks == 0) return;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    n_chunks_ = n_chunks;
+    next_chunk_.store(0, std::memory_order_relaxed);
+    active_workers_ = workers_.size();
+    error_ = nullptr;
+    ++epoch_;
+  }
+  wake_.notify_all();
+  drain();  // the caller is a full participant
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return active_workers_ == 0; });
+  body_ = nullptr;
+  if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
+}
+
+void ThreadPool::drain() {
+  for (;;) {
+    const std::size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= n_chunks_) return;
+    try {
+      (*body_)(chunk);
+    } catch (...) {
+      record_error();
+    }
+  }
+}
+
+void ThreadPool::record_error() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!error_) error_ = std::current_exception();
+  // Abandon unclaimed chunks so everyone winds down promptly.
+  next_chunk_.store(n_chunks_, std::memory_order_relaxed);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    if (stop_) return;
+    seen_epoch = epoch_;
+    lock.unlock();
+    drain();
+    lock.lock();
+    if (--active_workers_ == 0) done_.notify_one();
+  }
+}
+
+}  // namespace mh::engine

@@ -17,6 +17,9 @@ struct ProtocolExperimentConfig {
   TieBreak tie_break = TieBreak::AdversarialOrder;
   std::size_t runs = 200;
   std::uint64_t seed = 7;
+  /// Worker threads for the sharded engine (one seeded execution per task);
+  /// 0 = hardware concurrency. Results are independent of this knob.
+  std::size_t threads = 0;
 };
 
 enum class AttackKind { None, PrivateChain, Balance };

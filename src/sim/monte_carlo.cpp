@@ -5,6 +5,7 @@
 #include "core/relative_margin.hpp"
 #include "delta/delta_settlement.hpp"
 #include "delta/reduction.hpp"
+#include "engine/engine.hpp"
 
 namespace mh {
 
@@ -15,26 +16,39 @@ std::int64_t sample_initial_reach(const SymbolLaw& law, Rng& rng) {
   return static_cast<std::int64_t>(sample_geometric(rng, beta));
 }
 
+engine::EngineOptions engine_options(const McOptions& opt) {
+  engine::EngineOptions eopt;
+  eopt.threads = opt.threads;
+  eopt.seed = opt.seed;
+  return eopt;
+}
+
+/// Shard a Bernoulli event over the engine and wrap the pooled count.
+template <typename Event>
+Proportion mc_event_proportion(const McOptions& opt, Event&& event) {
+  const std::size_t hits = engine::run_sharded<std::size_t>(
+      opt.samples, engine_options(opt),
+      [&](std::uint64_t /*index*/, Rng& rng, std::size_t& partial) {
+        if (event(rng)) ++partial;
+      });
+  return wilson_interval(hits, opt.samples);
+}
+
 }  // namespace
 
 Proportion mc_settlement_violation(const SymbolLaw& law, std::size_t k, const McOptions& opt) {
   law.validate();
-  Rng rng(opt.seed);
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < opt.samples; ++i) {
+  return mc_event_proportion(opt, [&](Rng& rng) {
     MarginProcess p(sample_initial_reach(law, rng));
     for (std::size_t t = 0; t < k; ++t) p.step(law.sample(rng));
-    if (p.mu() >= 0) ++hits;
-  }
-  return wilson_interval(hits, opt.samples);
+    return p.mu() >= 0;
+  });
 }
 
 Proportion mc_settlement_violation_eventual(const SymbolLaw& law, std::size_t k,
                                             std::size_t extra, const McOptions& opt) {
   law.validate();
-  Rng rng(opt.seed);
-  std::size_t hits = 0;
-  for (std::size_t i = 0; i < opt.samples; ++i) {
+  return mc_event_proportion(opt, [&](Rng& rng) {
     MarginProcess p(sample_initial_reach(law, rng));
     for (std::size_t t = 0; t < k; ++t) p.step(law.sample(rng));
     bool violated = p.mu() >= 0;
@@ -42,61 +56,48 @@ Proportion mc_settlement_violation_eventual(const SymbolLaw& law, std::size_t k,
       p.step(law.sample(rng));
       violated = p.mu() >= 0;
     }
-    if (violated) ++hits;
-  }
-  return wilson_interval(hits, opt.samples);
+    return violated;
+  });
 }
 
 Proportion mc_no_unique_catalan(const SymbolLaw& law, std::size_t k, const McOptions& opt) {
   law.validate();
-  Rng rng(opt.seed);
-  std::size_t misses = 0;
   const std::size_t horizon = k + opt.horizon_slack;
-  for (std::size_t i = 0; i < opt.samples; ++i) {
+  return mc_event_proportion(opt, [&](Rng& rng) {
     const CharString w = law.sample_string(horizon, rng);
-    if (first_uniquely_honest_catalan(w, 1, k) == 0) ++misses;
-  }
-  return wilson_interval(misses, opt.samples);
+    return first_uniquely_honest_catalan(w, 1, k) == 0;
+  });
 }
 
 Proportion mc_no_consecutive_catalan(const SymbolLaw& law, std::size_t k,
                                      const McOptions& opt) {
   law.validate();
-  Rng rng(opt.seed);
-  std::size_t misses = 0;
   const std::size_t horizon = k + opt.horizon_slack;
-  for (std::size_t i = 0; i < opt.samples; ++i) {
+  return mc_event_proportion(opt, [&](Rng& rng) {
     const CharString w = law.sample_string(horizon, rng);
-    if (first_consecutive_catalan_pair(w, 1, k) == 0) ++misses;
-  }
-  return wilson_interval(misses, opt.samples);
+    return first_consecutive_catalan_pair(w, 1, k) == 0;
+  });
 }
 
 Proportion mc_delta_settlement_failure(const TetraLaw& law, std::size_t delta, std::size_t k,
                                        const McOptions& opt) {
   law.validate();
-  Rng rng(opt.seed);
-  std::size_t misses = 0;
   // The reduced string shrinks by roughly a factor f; oversample the raw
   // horizon so the reduced window plus its lookahead is well populated.
   const double f = law.f();
   const std::size_t raw_horizon =
       static_cast<std::size_t>(static_cast<double>(3 * k + opt.horizon_slack) / f) + delta + 8;
-  for (std::size_t i = 0; i < opt.samples; ++i) {
+  return mc_event_proportion(opt, [&](Rng& rng) {
     const TetraString w = law.sample_string(raw_horizon, rng);
     const ReductionResult reduced = reduce_conservative(w, delta);
-    if (reduced.reduced.size() < k || !lemma2_event_holds(reduced.reduced, 1, k, delta))
-      ++misses;
-  }
-  return wilson_interval(misses, opt.samples);
+    return reduced.reduced.size() < k || !lemma2_event_holds(reduced.reduced, 1, k, delta);
+  });
 }
 
 Proportion mc_cp_window_failure(const SymbolLaw& law, std::size_t horizon, std::size_t k,
                                 const McOptions& opt) {
   law.validate();
-  Rng rng(opt.seed);
-  std::size_t failures = 0;
-  for (std::size_t i = 0; i < opt.samples; ++i) {
+  return mc_event_proportion(opt, [&](Rng& rng) {
     const CharString w = law.sample_string(horizon + opt.horizon_slack, rng);
     const CatalanFlags flags = catalan_flags(w);
     bool bad_window = false;
@@ -112,21 +113,24 @@ Proportion mc_cp_window_failure(const SymbolLaw& law, std::size_t horizon, std::
         if (good(s - k + 1)) --in_window;
       }
     }
-    if (bad_window) ++failures;
-  }
-  return wilson_interval(failures, opt.samples);
+    return bad_window;
+  });
 }
 
 std::vector<std::size_t> mc_first_catalan_histogram(const SymbolLaw& law, std::size_t horizon,
                                                     const McOptions& opt) {
   law.validate();
-  Rng rng(opt.seed);
-  std::vector<std::size_t> histogram(horizon + 2, 0);
-  for (std::size_t i = 0; i < opt.samples; ++i) {
-    const CharString w = law.sample_string(horizon + opt.horizon_slack, rng);
-    const std::size_t first = first_uniquely_honest_catalan(w, 1, horizon);
-    histogram[first == 0 ? horizon + 1 : first] += 1;
-  }
+  // Same sharded path as every other estimator: per-chunk histograms merged
+  // element-wise, in chunk order, by engine::Reduce.
+  std::vector<std::size_t> histogram = engine::run_sharded<std::vector<std::size_t>>(
+      opt.samples, engine_options(opt),
+      [&](std::uint64_t /*index*/, Rng& rng, std::vector<std::size_t>& partial) {
+        if (partial.empty()) partial.assign(horizon + 2, 0);
+        const CharString w = law.sample_string(horizon + opt.horizon_slack, rng);
+        const std::size_t first = first_uniquely_honest_catalan(w, 1, horizon);
+        partial[first == 0 ? horizon + 1 : first] += 1;
+      });
+  histogram.resize(horizon + 2);  // an empty workload still gets the full bin layout
   return histogram;
 }
 

@@ -1,6 +1,9 @@
 // Monte-Carlo estimators for the stochastic events of the analysis. These
 // complement the exact DP (cross-validation) and cover events for which the
 // paper gives only bounds (Catalan scarcity, Delta-settlement, CP windows).
+// All estimators run on the sharded experiment engine (src/engine): sample i
+// always draws from the i-th counter-based stream of `seed`, so estimates are
+// bit-for-bit identical for every `threads` setting.
 #pragma once
 
 #include <cstddef>
@@ -18,6 +21,9 @@ struct McOptions {
   /// Horizon slack appended after the window so right-Catalan/settlement
   /// checks see "the future" (geometric decay makes ~k + 4/eps plenty).
   std::size_t horizon_slack = 512;
+  /// Worker threads for the sharded engine; 0 = hardware concurrency. Results
+  /// are bit-for-bit independent of this knob (counter-based sample streams).
+  std::size_t threads = 0;
 };
 
 /// Pr[mu_x(y) >= 0] with |y| = k and rho(x) ~ X_inf, by simulating the scalar

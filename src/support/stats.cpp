@@ -14,6 +14,20 @@ void RunningStats::add(double x) noexcept {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const std::size_t n = n_ + other.n_;
+  const double delta = other.mean_ - mean_;
+  const double w_other = static_cast<double>(other.n_) / static_cast<double>(n);
+  mean_ += delta * w_other;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) * w_other;
+  n_ = n;
+}
+
 double RunningStats::variance() const noexcept {
   return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
 }
@@ -22,6 +36,13 @@ double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
 
 double RunningStats::stderror() const noexcept {
   return n_ == 0 ? 0.0 : std::sqrt(variance() / static_cast<double>(n_));
+}
+
+void Proportion::merge(const Proportion& other) {
+  successes += other.successes;
+  trials += other.trials;
+  if (trials == 0) return;  // two empty shards: stay default
+  *this = wilson_interval(successes, trials);
 }
 
 Proportion wilson_interval(std::size_t successes, std::size_t trials, double z) {

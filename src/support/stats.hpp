@@ -13,6 +13,10 @@ namespace mh {
 class RunningStats {
  public:
   void add(double x) noexcept;
+  /// Absorb another accumulator (Chan et al. pairwise update), as if every
+  /// observation of `other` had been added here. Enables sharded accumulation:
+  /// merging disjoint shards never double-counts.
+  void merge(const RunningStats& other) noexcept;
   [[nodiscard]] std::size_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return mean_; }
   /// Unbiased sample variance; 0 for fewer than two observations.
@@ -34,6 +38,10 @@ struct Proportion {
   double estimate = 0.0;
   double lo = 0.0;  ///< lower bound of the CI
   double hi = 0.0;  ///< upper bound of the CI
+
+  /// Pool another disjoint sample: counts add, and the estimate and interval
+  /// are recomputed from the pooled counts (at the default 99% Wilson z).
+  void merge(const Proportion& other);
 };
 
 /// Wilson score interval for a binomial proportion (default z ~ 99% two-sided).
