@@ -3,14 +3,22 @@
 // Regenerates every cell of the paper's Table 1 (alpha columns, ratio blocks,
 // k rows) with the Section-6.6 dynamic program seeded by X_inf (|x| -> inf).
 //
+// All 36 (alpha, ratio) laws run as ONE engine-parallel sweep
+// (mh::sweep_settlement_series) on the banded DP kernel; the printed table
+// uses the long double Reference path, so the digits are bit-identical to
+// the serial seed implementation for every MH_THREADS setting.
+//
 // Expected correspondence: identical digits for k <= 400; the paper's k = 500
 // row deviates from its own geometric trend (see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
 
+#include "analysis/sweep.hpp"
 #include "chars/bernoulli.hpp"
 #include "core/exact_dp.hpp"
+#include "engine/thread_pool.hpp"
 #include "support/table.hpp"
 
 namespace {
@@ -18,47 +26,81 @@ namespace {
 constexpr double kAlphas[] = {0.01, 0.10, 0.20, 0.30, 0.40, 0.49};
 constexpr double kRatios[] = {1.0, 0.9, 0.8, 0.5, 0.25, 0.01};
 constexpr std::size_t kDepths[] = {100, 200, 300, 400, 500};
+constexpr std::size_t kMax = 500;
+
+std::vector<mh::SymbolLaw> table1_laws() {
+  std::vector<mh::SymbolLaw> laws;
+  laws.reserve(std::size(kRatios) * std::size(kAlphas));
+  for (double ratio : kRatios)
+    for (double alpha : kAlphas) laws.push_back(mh::table1_law(alpha, ratio));
+  return laws;
+}
 
 void print_table1() {
   std::printf(
       "Table 1: exact probabilities of k-settlement violations\n"
       "(i.i.d. symbols, Pr[A] = alpha, Pr[h] = ratio * (1 - alpha), |x| -> infinity)\n\n");
-  for (double ratio : kRatios) {
-    std::printf("Pr[h]/(1-alpha) = %.2f\n", ratio);
+
+  // One sweep over all 36 laws; each cell is one DP pass yielding its full
+  // k-series.
+  mh::SweepOptions opt;
+  opt.threads = mh::engine::threads_from_env();
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<mh::SettlementSeries> series = sweep_settlement_series(table1_laws(), kMax, opt);
+  const double ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start).count();
+
+  for (std::size_t b = 0; b < std::size(kRatios); ++b) {
+    std::printf("Pr[h]/(1-alpha) = %.2f\n", kRatios[b]);
     std::vector<std::string> header{"k \\ alpha"};
     for (double alpha : kAlphas) header.push_back(mh::fixed(alpha, 2));
     mh::TextTable table(header);
-
-    // One DP pass per (alpha, ratio) yields the entire k-series.
-    std::vector<mh::SettlementSeries> series;
-    series.reserve(std::size(kAlphas));
-    for (double alpha : kAlphas)
-      series.push_back(mh::exact_settlement_series(mh::table1_law(alpha, ratio), 500));
-
     for (std::size_t k : kDepths) {
       std::vector<std::string> row{std::to_string(k)};
       for (std::size_t a = 0; a < std::size(kAlphas); ++a)
-        row.push_back(mh::paper_scientific(series[a].violation[k]));
+        row.push_back(mh::paper_scientific(series[b * std::size(kAlphas) + a].violation[k]));
       table.add_row(std::move(row));
     }
     std::printf("%s\n", table.render().c_str());
   }
+  std::printf("sweep: %zu laws x k<=%zu in %.0f ms\n\n", std::size(kRatios) * std::size(kAlphas),
+              kMax, ms);
 }
 
+// range(0) = k, range(1) = DpPrecision (0 = Reference long double path,
+// 1 = Fast double path).
 void BM_ExactSettlementSeries(benchmark::State& state) {
   const auto k = static_cast<std::size_t>(state.range(0));
+  const auto precision =
+      state.range(1) == 0 ? mh::DpPrecision::Reference : mh::DpPrecision::Fast;
   const mh::SymbolLaw law = mh::table1_law(0.30, 0.5);
   for (auto _ : state) {
-    const mh::SettlementSeries series = mh::exact_settlement_series(law, k);
+    const mh::SettlementSeries series =
+        mh::exact_settlement_series(law, k, mh::InitialReach::Stationary, precision);
     benchmark::DoNotOptimize(series.violation.back());
   }
-  state.SetComplexityN(static_cast<std::int64_t>(k));
 }
-BENCHMARK(BM_ExactSettlementSeries)->Arg(50)->Arg(100)->Arg(200)->Arg(400)->Complexity();
+BENCHMARK(BM_ExactSettlementSeries)->ArgsProduct({{50, 100, 200, 400}, {0, 1}});
+
+// The full Table-1 grid as one engine-parallel sweep (MH_THREADS controls the
+// fan-out; results are thread-count invariant).
+void BM_Table1Sweep(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const std::vector<mh::SymbolLaw> laws = table1_laws();
+  mh::SweepOptions opt;
+  opt.threads = mh::engine::threads_from_env();
+  opt.precision = state.range(1) == 0 ? mh::DpPrecision::Reference : mh::DpPrecision::Fast;
+  for (auto _ : state) {
+    const auto series = sweep_settlement_series(laws, k, opt);
+    benchmark::DoNotOptimize(series.front().violation.back());
+  }
+}
+BENCHMARK(BM_Table1Sweep)->ArgsProduct({{200, 500}, {0, 1}})->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  mh::engine::print_thread_banner();
   print_table1();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -15,12 +15,12 @@ SymbolLaw praos_collapsed_law(const SymbolLaw& law) {
   return collapsed;
 }
 
-long double praos_settlement_error(const SymbolLaw& law, std::size_t k) {
+long double praos_settlement_error(const SymbolLaw& law, std::size_t k, DpPrecision precision) {
   const SymbolLaw collapsed = praos_collapsed_law(law);
   if (collapsed.ph <= collapsed.pA) return 1.0L;  // ph - pH <= pA: no guarantee
   // The collapsed law may have pA >= 1/2 even when the threshold holds is
   // impossible (ph > pA + pH and ph + pH + pA = 1 imply pA + pH < 1/2).
-  return settlement_violation_probability(collapsed, k);
+  return settlement_violation_probability(collapsed, k, InitialReach::Stationary, precision);
 }
 
 SymbolLaw snow_white_conditioned_law(const SymbolLaw& law) {

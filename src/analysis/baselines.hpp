@@ -19,14 +19,17 @@
 #include <cstddef>
 
 #include "chars/bernoulli.hpp"
+#include "core/dp_kernel.hpp"
 
 namespace mh {
 
 /// The collapsed law a Praos-style argument certifies: H mass moves to A.
 SymbolLaw praos_collapsed_law(const SymbolLaw& law);
 
-/// Praos-certified settlement error at depth k (1.0 when inapplicable).
-long double praos_settlement_error(const SymbolLaw& law, std::size_t k);
+/// Praos-certified settlement error at depth k (1.0 when inapplicable). The
+/// collapsed-law DP runs on the banded kernel at the requested precision.
+long double praos_settlement_error(const SymbolLaw& law, std::size_t k,
+                                   DpPrecision precision = DpPrecision::Reference);
 
 /// The conditioned law a Sleepy/Snow White-style argument certifies: H slots
 /// are ignored, so the effective string is the {h, A} subsequence.

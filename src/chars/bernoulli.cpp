@@ -25,6 +25,12 @@ CharString SymbolLaw::sample_string(std::size_t length, Rng& rng) const {
   return CharString(std::move(symbols));
 }
 
+void SymbolLaw::sample_into(CharString& out, std::size_t length, Rng& rng) const {
+  out.symbols_.resize(length);
+  for (std::size_t i = 0; i < length; ++i) out.symbols_[i] = sample(rng);
+  out.rebuild_prefix_sums();
+}
+
 SymbolLaw bernoulli_condition(double epsilon, double ph) {
   MH_REQUIRE(epsilon > 0.0 && epsilon < 1.0);
   const double pA = (1.0 - epsilon) / 2.0;

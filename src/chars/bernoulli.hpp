@@ -29,6 +29,11 @@ struct SymbolLaw {
   void validate() const;
   [[nodiscard]] Symbol sample(Rng& rng) const;
   [[nodiscard]] CharString sample_string(std::size_t length, Rng& rng) const;
+  /// Resample `out` in place: identical to `out = sample_string(length, rng)`
+  /// but reuses out's storage, so steady-state sampling allocates nothing.
+  /// The hot Monte-Carlo loops call this once per sample on a per-shard
+  /// buffer.
+  void sample_into(CharString& out, std::size_t length, Rng& rng) const;
 };
 
 /// Definition 7: the (epsilon, ph)-Bernoulli condition.

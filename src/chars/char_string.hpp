@@ -14,6 +14,8 @@
 
 namespace mh {
 
+struct SymbolLaw;
+
 class CharString {
  public:
   CharString() = default;
@@ -56,6 +58,11 @@ class CharString {
   friend bool operator==(const CharString&, const CharString&) = default;
 
  private:
+  // SymbolLaw::sample_into refills symbols_ in place (reusing capacity) and
+  // rebuilds the prefix sums — the allocation-free resample path of the hot
+  // Monte-Carlo loops.
+  friend struct SymbolLaw;
+
   std::vector<Symbol> symbols_;
   // prefix_adv_[t] = #A(w_1..w_t); prefix_hon_ likewise; both sized n+1 with [0]=0.
   std::vector<std::uint32_t> prefix_adv_;

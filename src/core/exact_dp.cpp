@@ -3,201 +3,118 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/dp_kernel.hpp"
 #include "support/check.hpp"
 
 namespace mh {
 
 namespace {
 
-/// Dense joint law over (r, s) with r in [0, K+1], s in [-K, K+1].
-class StateGrid {
- public:
-  explicit StateGrid(std::size_t k_max)
-      : k_(static_cast<std::ptrdiff_t>(k_max)),
-        rdim_(k_max + 2),
-        sdim_(2 * k_max + 2),
-        mass_(rdim_ * sdim_, 0.0L) {}
+// The fixed-horizon series driver on the banded kernel. Per step t -> t+1 the
+// live margin band tightens from both sides toward the horizon: the top
+// column falls to K-t-1 (A-mass above it is violating at every remaining k),
+// the floor rises to -(K-t-1) (honest mass below it can violate at none),
+// and the reach cap falls to K-t (all larger reaches are one equivalence
+// class under clamping).
+template <typename Scalar>
+SettlementSeries settlement_series_impl(const SymbolLaw& law, std::size_t k_max,
+                                        const ReachPmf& initial) {
+  const auto K = static_cast<std::ptrdiff_t>(k_max);
+  const auto pA = static_cast<Scalar>(law.pA);
+  const auto ph = static_cast<Scalar>(law.ph);
+  const auto pH = static_cast<Scalar>(law.pH);
 
-  [[nodiscard]] long double& at(std::ptrdiff_t r, std::ptrdiff_t s) {
-    return mass_[static_cast<std::size_t>(r) * sdim_ + static_cast<std::size_t>(s + k_)];
+  BandedDp<Scalar> dp(k_max);
+  dp.seed(initial);
+
+  SettlementSeries series;
+  series.violation.assign(k_max + 1, 0.0L);
+  for (std::ptrdiff_t t = 0; t <= K; ++t) {
+    series.violation[static_cast<std::size_t>(t)] = static_cast<long double>(dp.nonneg_mass());
+    if (t == K) break;
+    const std::ptrdiff_t shi_next = K - t - 1;
+    dp.step(pA, ph, pH, std::max(dp.slo() - 1, -shi_next), shi_next, K - t,
+            /*safe_sink=*/true);
   }
-  [[nodiscard]] long double at(std::ptrdiff_t r, std::ptrdiff_t s) const {
-    return mass_[static_cast<std::size_t>(r) * sdim_ + static_cast<std::size_t>(s + k_)];
-  }
+  series.always_violating = static_cast<long double>(dp.viol());
+  series.never_violating = static_cast<long double>(dp.safe());
+  return series;
+}
 
-  void clear() { std::fill(mass_.begin(), mass_.end(), 0.0L); }
+// Phase 1 of the eventual-settlement value: exact joint evolution to step k.
+// Unlike the fixed-horizon series there is NO safe sink — a deeply negative
+// margin can still recover after step k — so the band floor falls freely.
+template <typename Scalar>
+long double eventual_insecurity_impl(const SymbolLaw& law, std::size_t k,
+                                     const ReachPmf& initial) {
+  const auto K = static_cast<std::ptrdiff_t>(k);
+  const auto pA = static_cast<Scalar>(law.pA);
+  const auto ph = static_cast<Scalar>(law.ph);
+  const auto pH = static_cast<Scalar>(law.pH);
+  const auto beta = static_cast<Scalar>(reach_beta(law));
 
-  [[nodiscard]] std::ptrdiff_t k() const noexcept { return k_; }
+  BandedDp<Scalar> dp(k);
+  dp.seed(initial);
+  for (std::ptrdiff_t t = 0; t < K; ++t)
+    dp.step(pA, ph, pH, dp.slo() - 1, K - t - 1, K - t, /*safe_sink=*/false);
 
- private:
-  std::ptrdiff_t k_;
-  std::size_t rdim_;
-  std::size_t sdim_;
-  std::vector<long double> mass_;
-};
+  // Phase 2: at step k, mu >= 0 wins outright; mu = -m < 0 wins iff the bare
+  // walk ever climbs back to 0: probability beta^m (gambler's ruin).
+  std::vector<Scalar> beta_pow(k + 1, Scalar(1));
+  for (std::size_t m = 1; m <= k; ++m) beta_pow[m] = beta_pow[m - 1] * beta;
+  DpAccum<Scalar> total;
+  total.add(dp.viol());
+  dp.for_each_live([&](std::ptrdiff_t /*r*/, std::ptrdiff_t s, Scalar q) {
+    if (q == Scalar(0)) return;
+    total.add(s >= 0 ? q : q * beta_pow[static_cast<std::size_t>(-s)]);
+  });
+  return static_cast<long double>(total.value());
+}
+
+ReachPmf zero_reach(std::size_t k_max) {
+  ReachPmf zero;
+  zero.mass.assign(k_max + 1, 0.0L);
+  zero.mass[0] = 1.0L;
+  return zero;
+}
+
+ReachPmf initial_reach(const SymbolLaw& law, std::size_t k_max, InitialReach init) {
+  return init == InitialReach::Zero ? zero_reach(k_max)
+                                    : stationary_reach_distribution(law, k_max);
+}
 
 }  // namespace
 
 SettlementSeries exact_settlement_series(const SymbolLaw& law, std::size_t k_max,
-                                         const ReachPmf& initial) {
+                                         const ReachPmf& initial, DpPrecision precision) {
   law.validate();
   MH_REQUIRE(k_max >= 1);
   MH_REQUIRE_MSG(initial.mass.size() >= k_max + 1, "initial reach law must cover r = 0..k_max");
-
-  const auto K = static_cast<std::ptrdiff_t>(k_max);
-  const auto pA = static_cast<long double>(law.pA);
-  const auto ph = static_cast<long double>(law.ph);
-  const auto pH = static_cast<long double>(law.pH);
-
-  StateGrid cur(k_max), nxt(k_max);
-  SettlementSeries series;
-  series.violation.assign(k_max + 1, 0.0L);
-
-  // Seed: s_0 = r_0 = rho(x). Mass with rho(x) > K can never reach mu < 0
-  // within the horizon: fold it into the always-violating sink exactly.
-  long double viol = initial.tail;
-  for (std::size_t r = k_max + 1; r < initial.mass.size(); ++r) viol += initial.mass[r];
-  for (std::ptrdiff_t r = 0; r <= K; ++r) cur.at(r, r) = initial.mass[static_cast<std::size_t>(r)];
-  long double safe = 0.0L;
-
-  for (std::ptrdiff_t t = 0; t <= K; ++t) {
-    // Report P(t): always-violating sink plus all live mass with mu >= 0.
-    long double p = viol;
-    const std::ptrdiff_t rcap_t = K - t + 1;
-    const std::ptrdiff_t srange_t = K - t;
-    for (std::ptrdiff_t r = 0; r <= rcap_t; ++r)
-      for (std::ptrdiff_t s = 0; s <= std::min(r, srange_t + 1); ++s) p += cur.at(r, s);
-    series.violation[static_cast<std::size_t>(t)] = p;
-    if (t == K) break;
-
-    // Transition to time t+1 with caps rcap' = K-t and live band |s'| <= K-t-1.
-    const std::ptrdiff_t rcap_next = K - t;
-    const std::ptrdiff_t sband_next = K - t - 1;
-    nxt.clear();
-    for (std::ptrdiff_t r = 0; r <= rcap_t; ++r) {
-      const std::ptrdiff_t s_hi = std::min(r, srange_t + 1);
-      for (std::ptrdiff_t s = -srange_t; s <= s_hi; ++s) {
-        const long double q = cur.at(r, s);
-        if (q == 0.0L) continue;
-
-        // b = A: both coordinates rise.
-        {
-          const std::ptrdiff_t s2 = s + 1;
-          if (s2 > sband_next)
-            viol += q * pA;
-          else
-            nxt.at(std::min(r + 1, rcap_next), s2) += q * pA;
-        }
-
-        // b honest: rho falls (clamped at 0); mu falls unless pinned at 0.
-        const std::ptrdiff_t r2 = r == 0 ? 0 : std::min(r - 1, rcap_next);
-        // b = h: pinned only when a spare tine exists (rho > 0).
-        {
-          const std::ptrdiff_t s2 = (s == 0 && r > 0) ? 0 : s - 1;
-          if (s2 < -sband_next)
-            safe += q * ph;
-          else
-            nxt.at(r2, s2) += q * ph;
-        }
-        // b = H: pinned whenever mu = 0 (concurrent honest leaders re-split).
-        {
-          const std::ptrdiff_t s2 = s == 0 ? 0 : s - 1;
-          if (s2 < -sband_next)
-            safe += q * pH;
-          else
-            nxt.at(r2, s2) += q * pH;
-        }
-      }
-    }
-    std::swap(cur, nxt);
-  }
-
-  series.always_violating = viol;
-  series.never_violating = safe;
-  return series;
+  return precision == DpPrecision::Reference
+             ? settlement_series_impl<long double>(law, k_max, initial)
+             : settlement_series_impl<double>(law, k_max, initial);
 }
 
 SettlementSeries exact_settlement_series(const SymbolLaw& law, std::size_t k_max,
-                                         InitialReach init) {
-  if (init == InitialReach::Zero) {
-    ReachPmf zero;
-    zero.mass.assign(k_max + 1, 0.0L);
-    zero.mass[0] = 1.0L;
-    return exact_settlement_series(law, k_max, zero);
-  }
-  return exact_settlement_series(law, k_max, stationary_reach_distribution(law, k_max));
+                                         InitialReach init, DpPrecision precision) {
+  law.validate();
+  MH_REQUIRE(k_max >= 1);
+  return exact_settlement_series(law, k_max, initial_reach(law, k_max, init), precision);
 }
 
 long double settlement_violation_probability(const SymbolLaw& law, std::size_t k,
-                                             InitialReach init) {
-  return exact_settlement_series(law, k, init).violation[k];
+                                             InitialReach init, DpPrecision precision) {
+  return exact_settlement_series(law, k, init, precision).violation[k];
 }
 
-long double eventual_settlement_insecurity(const SymbolLaw& law, std::size_t k,
-                                           InitialReach init) {
+long double eventual_settlement_insecurity(const SymbolLaw& law, std::size_t k, InitialReach init,
+                                           DpPrecision precision) {
   law.validate();
   MH_REQUIRE(k >= 1);
-  const auto K = static_cast<std::ptrdiff_t>(k);
-  const auto pA = static_cast<long double>(law.pA);
-  const auto ph = static_cast<long double>(law.ph);
-  const auto pH = static_cast<long double>(law.pH);
-  const long double beta = reach_beta(law);
-
-  const ReachPmf initial = init == InitialReach::Zero
-                               ? [&] {
-                                   ReachPmf zero;
-                                   zero.mass.assign(k + 1, 0.0L);
-                                   zero.mass[0] = 1.0L;
-                                   return zero;
-                                 }()
-                               : stationary_reach_distribution(law, k);
-
-  // Phase 1: exact joint evolution to step k. Unlike the fixed-horizon series
-  // there is NO safe sink — a deeply negative margin can still recover after
-  // step k — but the always-violating sink remains sound: mu > K - t at time
-  // t guarantees mu >= 0 at time k.
-  StateGrid cur(k), nxt(k);
-  long double viol = initial.tail;
-  for (std::size_t r = k + 1; r < initial.mass.size(); ++r) viol += initial.mass[r];
-  for (std::ptrdiff_t r = 0; r <= K; ++r) cur.at(r, r) = initial.mass[static_cast<std::size_t>(r)];
-
-  for (std::ptrdiff_t t = 0; t < K; ++t) {
-    const std::ptrdiff_t rcap_t = K - t + 1;
-    const std::ptrdiff_t rcap_next = K - t;
-    const std::ptrdiff_t viol_band = K - t - 1;
-    nxt.clear();
-    for (std::ptrdiff_t r = 0; r <= rcap_t; ++r) {
-      for (std::ptrdiff_t s = -t; s <= std::min(r, K - t); ++s) {
-        const long double q = cur.at(r, s);
-        if (q == 0.0L) continue;
-        {
-          const std::ptrdiff_t s2 = s + 1;
-          if (s2 > viol_band)
-            viol += q * pA;
-          else
-            nxt.at(std::min(r + 1, rcap_next), s2) += q * pA;
-        }
-        const std::ptrdiff_t r2 = r == 0 ? 0 : std::min(r - 1, rcap_next);
-        nxt.at(r2, (s == 0 && r > 0) ? 0 : s - 1) += q * ph;
-        nxt.at(r2, s == 0 ? 0 : s - 1) += q * pH;
-      }
-    }
-    std::swap(cur, nxt);
-  }
-
-  // Phase 2: at step k, mu >= 0 wins outright; mu = -m < 0 wins iff the bare
-  // walk ever climbs back to 0: probability beta^m.
-  long double total = viol;
-  std::vector<long double> beta_pow(static_cast<std::size_t>(K) + 1, 1.0L);
-  for (std::size_t m = 1; m <= static_cast<std::size_t>(K); ++m)
-    beta_pow[m] = beta_pow[m - 1] * beta;
-  for (std::ptrdiff_t r = 0; r <= K + 1; ++r)
-    for (std::ptrdiff_t s = -K; s <= std::min(r, K); ++s) {
-      const long double q = cur.at(r, s);
-      if (q == 0.0L) continue;
-      total += s >= 0 ? q : q * beta_pow[static_cast<std::size_t>(-s)];
-    }
-  return total;
+  const ReachPmf initial = initial_reach(law, k, init);
+  return precision == DpPrecision::Reference
+             ? eventual_insecurity_impl<long double>(law, k, initial)
+             : eventual_insecurity_impl<double>(law, k, initial);
 }
 
 }  // namespace mh

@@ -18,12 +18,18 @@
 //     mu = 0", and a state with rho > K - t keeps rho > 0 through the horizon,
 //     so all such reaches form one equivalence class.
 // The X_inf tail above K is exactly the always-violating mass beta^{K+1}.
+// Both entry points run on the banded gather kernel (core/dp_kernel.hpp) and
+// take a DpPrecision: the long double Reference path reproduces the original
+// dense scatter implementation bit for bit; the double Fast path trades the
+// last few digits (relative error ~1e-14, pinned by tests/test_dp_kernel.cpp)
+// for SIMD-able arithmetic and half the memory traffic.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "chars/bernoulli.hpp"
+#include "core/dp_kernel.hpp"
 #include "core/reach_distribution.hpp"
 
 namespace mh {
@@ -44,17 +50,20 @@ struct SettlementSeries {
 
 /// Full series P(0..k_max) for the i.i.d. law. O(k_max^3) time, O(k_max^2) space.
 SettlementSeries exact_settlement_series(const SymbolLaw& law, std::size_t k_max,
-                                         InitialReach init = InitialReach::Stationary);
+                                         InitialReach init = InitialReach::Stationary,
+                                         DpPrecision precision = DpPrecision::Reference);
 
 /// Same, seeded with an arbitrary initial reach law (e.g. X_m for finite |x|).
 /// `initial.mass` must cover r = 0..k_max; excess mass and `initial.tail` are
 /// folded into the always-violating sink (exact, since mu_0 = rho_0 > k_max).
 SettlementSeries exact_settlement_series(const SymbolLaw& law, std::size_t k_max,
-                                         const ReachPmf& initial);
+                                         const ReachPmf& initial,
+                                         DpPrecision precision = DpPrecision::Reference);
 
 /// Single-point convenience: the Table 1 entry for (law, k).
 long double settlement_violation_probability(const SymbolLaw& law, std::size_t k,
-                                             InitialReach init = InitialReach::Stationary);
+                                             InitialReach init = InitialReach::Stationary,
+                                             DpPrecision precision = DpPrecision::Reference);
 
 /// The full game value of the settlement game (Definition 5 semantics): the
 /// probability that the optimal adversary wins at SOME observation time
@@ -65,6 +74,7 @@ long double settlement_violation_probability(const SymbolLaw& law, std::size_t k
 /// mu < 0, so the remaining process is a bare +-1 walk and the classical
 /// gambler's ruin gives Pr[return to 0 from -m] = beta^m in closed form.
 long double eventual_settlement_insecurity(const SymbolLaw& law, std::size_t k,
-                                           InitialReach init = InitialReach::Stationary);
+                                           InitialReach init = InitialReach::Stationary,
+                                           DpPrecision precision = DpPrecision::Reference);
 
 }  // namespace mh

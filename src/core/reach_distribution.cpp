@@ -23,18 +23,19 @@ ReachPmf finite_reach_distribution(const SymbolLaw& law, std::size_t m, std::siz
   const long double up = static_cast<long double>(law.pA);
   const long double down = 1.0L - up;
 
+  // The tail bucket stays a genuine ">cap" class only when re-entry below the
+  // cap is impossible within the remaining steps. Callers pick cap >= m, where
+  // the tail stays empty; enforce that once, up front (the bound is a pure
+  // function of the arguments, not of the per-step state).
+  MH_REQUIRE_MSG(cap >= m, "cap must be at least m so the tail bucket stays exact");
+
   ReachPmf pmf;
   pmf.mass.assign(cap + 1, 0.0L);
   pmf.mass[0] = 1.0L;  // rho(eps) = 0
   std::vector<long double> next(cap + 1);
   for (std::size_t step = 0; step < m; ++step) {
     std::fill(next.begin(), next.end(), 0.0L);
-    long double next_tail = pmf.tail;  // tail never descends below cap in one step...
-    // ...except that it can: treat the tail bucket conservatively by keeping it
-    // a genuine ">cap" class only when cap is large enough that re-entry is
-    // impossible within the remaining steps. Callers pick cap >= m, where the
-    // tail stays empty; enforce that here.
-    MH_REQUIRE_MSG(cap >= m, "cap must be at least m so the tail bucket stays exact");
+    long double next_tail = pmf.tail;  // tail never descends below cap in one step
     for (std::size_t r = 0; r <= cap; ++r) {
       const long double q = pmf.mass[r];
       if (q == 0.0L) continue;
@@ -70,11 +71,13 @@ ReachPmf stationary_reach_distribution(const SymbolLaw& law, std::size_t cap) {
 }
 
 bool pmf_dominated(const ReachPmf& lower, const ReachPmf& upper, long double tol) {
+  // One suffix-sum pass instead of recomputing both tails from scratch at
+  // every r: scan r downward, growing each running tail by one mass term.
   const std::size_t size = std::max(lower.mass.size(), upper.mass.size());
-  for (std::size_t r = 0; r < size; ++r) {
-    long double lo = lower.tail, hi = upper.tail;
-    for (std::size_t i = r; i < lower.mass.size(); ++i) lo += lower.mass[i];
-    for (std::size_t i = r; i < upper.mass.size(); ++i) hi += upper.mass[i];
+  long double lo = lower.tail, hi = upper.tail;
+  for (std::size_t r = size; r-- > 0;) {
+    if (r < lower.mass.size()) lo += lower.mass[r];
+    if (r < upper.mass.size()) hi += upper.mass[r];
     if (lo > hi + tol) return false;
   }
   return true;

@@ -25,7 +25,8 @@ struct ReachPmf {
   long double tail = 0.0L;
 
   [[nodiscard]] long double total() const;
-  /// Pr[X > r] including the tail bucket.
+  /// Pr[X > r] including the tail bucket. O(mass.size()) per call — for all
+  /// tails at once, run a suffix-sum scan as pmf_dominated does.
   [[nodiscard]] long double upper_tail(std::size_t r) const;
 };
 

@@ -24,6 +24,26 @@ long double theorem7_bound(const TetraLaw& law, std::size_t delta, std::size_t k
   return std::min(1.0L, miss_catalan + walk_fails);
 }
 
+SettlementSeries delta_settlement_series(const TetraLaw& law, std::size_t delta,
+                                         std::size_t k_max, DpPrecision precision) {
+  MH_REQUIRE(k_max >= 1);
+  const SymbolLaw reduced = reduced_law(law, delta);
+  if (reduced.epsilon() <= 0.0) {
+    // The reduced adversarial mass reaches 1/2: X_inf diverges and the
+    // adversary sustains a maximum-length fork forever.
+    SettlementSeries trivial;
+    trivial.violation.assign(k_max + 1, 1.0L);
+    trivial.always_violating = 1.0L;
+    return trivial;
+  }
+  return exact_settlement_series(reduced, k_max, InitialReach::Stationary, precision);
+}
+
+long double delta_settlement_violation_probability(const TetraLaw& law, std::size_t delta,
+                                                   std::size_t k, DpPrecision precision) {
+  return delta_settlement_series(law, delta, k, precision).violation[k];
+}
+
 bool lemma2_event_holds(const CharString& reduced, std::size_t start, std::size_t k,
                         std::size_t delta) {
   MH_REQUIRE(start >= 1 && k >= 1);

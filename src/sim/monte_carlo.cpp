@@ -64,7 +64,10 @@ Proportion mc_no_unique_catalan(const SymbolLaw& law, std::size_t k, const McOpt
   law.validate();
   const std::size_t horizon = k + opt.horizon_slack;
   return mc_event_proportion(opt, [&](Rng& rng) {
-    const CharString w = law.sample_string(horizon, rng);
+    // Per-shard resample buffer: each pool thread keeps (and reuses) its own
+    // string, so the hot loop allocates nothing after the first sample.
+    thread_local CharString w;
+    law.sample_into(w, horizon, rng);
     return first_uniquely_honest_catalan(w, 1, k) == 0;
   });
 }
@@ -74,7 +77,8 @@ Proportion mc_no_consecutive_catalan(const SymbolLaw& law, std::size_t k,
   law.validate();
   const std::size_t horizon = k + opt.horizon_slack;
   return mc_event_proportion(opt, [&](Rng& rng) {
-    const CharString w = law.sample_string(horizon, rng);
+    thread_local CharString w;
+    law.sample_into(w, horizon, rng);
     return first_consecutive_catalan_pair(w, 1, k) == 0;
   });
 }
@@ -98,7 +102,8 @@ Proportion mc_cp_window_failure(const SymbolLaw& law, std::size_t horizon, std::
                                 const McOptions& opt) {
   law.validate();
   return mc_event_proportion(opt, [&](Rng& rng) {
-    const CharString w = law.sample_string(horizon + opt.horizon_slack, rng);
+    thread_local CharString w;
+    law.sample_into(w, horizon + opt.horizon_slack, rng);
     const CatalanFlags flags = catalan_flags(w);
     bool bad_window = false;
     // Sliding count of uniquely honest Catalan slots per length-k window.
@@ -126,7 +131,8 @@ std::vector<std::size_t> mc_first_catalan_histogram(const SymbolLaw& law, std::s
       opt.samples, engine_options(opt),
       [&](std::uint64_t /*index*/, Rng& rng, std::vector<std::size_t>& partial) {
         if (partial.empty()) partial.assign(horizon + 2, 0);
-        const CharString w = law.sample_string(horizon + opt.horizon_slack, rng);
+        thread_local CharString w;
+        law.sample_into(w, horizon + opt.horizon_slack, rng);
         const std::size_t first = first_uniquely_honest_catalan(w, 1, horizon);
         partial[first == 0 ? horizon + 1 : first] += 1;
       });
