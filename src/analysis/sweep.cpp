@@ -1,36 +1,15 @@
 #include "analysis/sweep.hpp"
 
-#include <algorithm>
-
 #include "engine/thread_pool.hpp"
 
 namespace mh {
-
-namespace {
-
-/// Fan `n_cells` independent cells across the engine pool, one cell per
-/// claimed chunk. The serial fallback runs the identical plan, and each cell
-/// writes only its own output slot, so results cannot depend on scheduling.
-void run_cells(std::size_t n_cells, std::size_t threads,
-               const std::function<void(std::size_t)>& cell) {
-  const std::size_t resolved =
-      std::min(engine::resolve_threads(threads), std::max<std::size_t>(n_cells, 1));
-  if (resolved <= 1) {
-    for (std::size_t i = 0; i < n_cells; ++i) cell(i);
-    return;
-  }
-  engine::ThreadPool pool(resolved);
-  pool.for_each_chunk(n_cells, cell);
-}
-
-}  // namespace
 
 std::vector<SettlementSeries> sweep_settlement_series(const std::vector<SymbolLaw>& laws,
                                                       std::size_t k_max,
                                                       const SweepOptions& opt) {
   for (const SymbolLaw& law : laws) law.validate();  // fail fast, before spawning workers
   std::vector<SettlementSeries> out(laws.size());
-  run_cells(laws.size(), opt.threads, [&](std::size_t i) {
+  engine::for_each_index(laws.size(), opt.threads, [&](std::size_t i) {
     out[i] = exact_settlement_series(laws[i], k_max, opt.init, opt.precision);
   });
   return out;
@@ -41,7 +20,7 @@ std::vector<long double> sweep_eventual_insecurity(const std::vector<SymbolLaw>&
                                                    const SweepOptions& opt) {
   for (const SymbolLaw& law : laws) law.validate();
   std::vector<long double> out(laws.size() * ks.size(), 0.0L);
-  run_cells(out.size(), opt.threads, [&](std::size_t cell) {
+  engine::for_each_index(out.size(), opt.threads, [&](std::size_t cell) {
     const std::size_t i = cell / ks.size();
     const std::size_t j = cell % ks.size();
     out[cell] = eventual_settlement_insecurity(laws[i], ks[j], opt.init, opt.precision);

@@ -1,5 +1,6 @@
 #include "engine/thread_pool.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
@@ -32,6 +33,18 @@ std::size_t threads_from_env(std::size_t fallback) noexcept {
 void print_thread_banner() {
   std::printf("engine: %zu thread(s) (MH_THREADS to override)\n\n",
               resolve_threads(threads_from_env()));
+}
+
+void for_each_index(std::size_t n, std::size_t threads,
+                    const std::function<void(std::size_t)>& body) {
+  const std::size_t resolved =
+      std::min(resolve_threads(threads), std::max<std::size_t>(n, 1));
+  if (resolved <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  ThreadPool pool(resolved);
+  pool.for_each_chunk(n, body);
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {

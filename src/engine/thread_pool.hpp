@@ -36,6 +36,14 @@ std::size_t threads_from_env(std::size_t fallback = 0) noexcept;
 /// shared by the bench drivers.
 void print_thread_banner();
 
+/// Fan `n` independent cells across a pool: body(i) runs exactly once for
+/// every i in [0, n), claimed dynamically. The serial fallback (resolved
+/// threads <= 1, or n <= 1) runs the identical plan, so any body that writes
+/// only cell-indexed state is bit-for-bit thread-count invariant. This is the
+/// shared skeleton of the analysis sweeps and the oracle scenario matrix.
+void for_each_index(std::size_t n, std::size_t threads,
+                    const std::function<void(std::size_t)>& body);
+
 class ThreadPool {
  public:
   /// Total parallelism, including the calling thread: spawns threads-1 workers.

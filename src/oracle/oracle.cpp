@@ -1,0 +1,81 @@
+#include "oracle/oracle.hpp"
+
+#include "delta/delta_fork.hpp"
+#include "fork/margin.hpp"
+#include "fork/validate.hpp"
+#include "protocol/bridge.hpp"
+#include "support/check.hpp"
+
+namespace mh::oracle {
+
+const char* strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::PrivateChain: return "private-chain";
+    case Strategy::Balance: return "balance";
+    case Strategy::Randomized: return "randomized";
+  }
+  return "?";
+}
+
+char RunVerdict::code() const noexcept {
+  if (!dominated()) return '!';
+  if (simulated_violation) return 'V';
+  return analytic_allows ? 'a' : '.';
+}
+
+std::unique_ptr<Adversary> make_strategy(Strategy strategy, const RunConfig& config,
+                                         std::uint64_t seed) {
+  switch (strategy) {
+    case Strategy::PrivateChain:
+      return std::make_unique<PrivateChainAdversary>(config.target_slot, config.k);
+    case Strategy::Balance: return std::make_unique<BalanceAttacker>();
+    case Strategy::Randomized: return std::make_unique<RandomizedAdversary>(seed);
+  }
+  return nullptr;
+}
+
+RunVerdict check_execution(const RunConfig& config, Rng& rng) {
+  MH_REQUIRE(config.target_slot >= 1 && config.k >= 1);
+  MH_REQUIRE(config.target_slot + config.k <= config.horizon);
+  config.law.validate();
+
+  // --- protocol side: one seeded execution under the chosen strategy --------
+  const LeaderSchedule schedule =
+      LeaderSchedule::from_tetra_law(config.law, config.horizon, config.honest_parties, rng);
+  const std::unique_ptr<Adversary> adversary =
+      make_strategy(config.strategy, config, rng());
+  Simulation sim(schedule, SimulationConfig{config.tie_break, rng()}, config.delta,
+                 adversary.get());
+  sim.watch_settlement(config.target_slot, config.k);
+  sim.run_until(config.target_slot + config.k);
+  const bool tied = sim.observed_settlement_violation(config.target_slot);
+  sim.run_until(config.horizon);
+
+  RunVerdict verdict;
+  verdict.simulated_violation =
+      tied || sim.settlement_watch_violated(config.target_slot);
+
+  // --- analytic side: reduce, decompose, run the Theorem-5 recurrence ------
+  const AnalyticProjection view =
+      project_schedule(schedule, config.delta, config.target_slot);
+  // The margin trajectory covers every observation with at least one reduced
+  // suffix symbol; when the whole confirmation window is empty the first
+  // observation sees x' alone, and the allowance is the distinct-balance
+  // condition on x' (Fact 6 at every divergence point).
+  verdict.analytic_allows =
+      margin_allows_violation(view) ||
+      (empty_observation_window(view, config.k) && prefix_admits_distinct_balance(view));
+  verdict.string_margin = view.margin.back();  // mu_{x'}(y') over the full suffix
+
+  // --- refinement: the execution relabels into a valid fork for w' ---------
+  const ExecutionFork execution = fork_from_blocks(sim.all_blocks());
+  const Fork projected =
+      project_to_synchronous(execution.fork, view.reduction.inverse);
+  verdict.fork_valid = validate_fork(projected, view.reduction.reduced).ok;
+  verdict.fork_margin =
+      relative_margin(projected, view.reduction.reduced, view.x_len);
+  verdict.margin_dominated = verdict.fork_margin <= verdict.string_margin;
+  return verdict;
+}
+
+}  // namespace mh::oracle

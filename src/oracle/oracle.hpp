@@ -1,0 +1,79 @@
+// The differential consistency oracle: run one protocol execution and one
+// analytic replay of the same leader schedule, and check the paper's
+// domination invariants between them.
+//
+// Per execution the oracle asserts, in order of strength:
+//
+//   1. refinement   - the execution's block set, relabeled through the
+//                     Delta-reduction bijection (Proposition 3), is a valid
+//                     synchronous fork for the reduced string (axioms F1-F4);
+//   2. margin       - the relative margin of that fork at the target
+//                     decomposition never exceeds the Theorem-5 recurrence
+//                     value (the recurrence is the max over ALL valid forks);
+//   3. domination   - if the simulated adversary achieved a k-settlement
+//                     violation, the analytic margin trajectory permits one
+//                     (mu_{x'}(y'_j) >= 0 somewhere); a string whose margin
+//                     forbids violations can never produce a simulated one.
+//
+// All three are exact statements (no tolerance, no sampling error), so a
+// single counterexample is a genuine bug in either the simulator or the
+// analytic stack - which is precisely what a differential oracle is for.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "oracle/characteristic.hpp"
+#include "protocol/adversary.hpp"
+
+namespace mh::oracle {
+
+/// The simulated strategies the oracle drives against the analytic side.
+enum class Strategy : std::uint8_t { PrivateChain = 0, Balance = 1, Randomized = 2 };
+
+const char* strategy_name(Strategy s) noexcept;
+
+/// One scenario-cell execution recipe; `law` draws the leader schedule.
+struct RunConfig {
+  TetraLaw law;
+  TieBreak tie_break = TieBreak::AdversarialOrder;
+  Strategy strategy = Strategy::PrivateChain;
+  std::size_t delta = 0;
+  std::size_t target_slot = 2;  ///< the slot whose settlement is attacked
+  std::size_t k = 6;            ///< confirmation depth of the settlement watch
+  std::size_t horizon = 48;
+  std::size_t honest_parties = 6;
+};
+
+/// The oracle's verdict on a single execution. All fields are pure functions
+/// of (config, rng stream), so verdicts are bit-identical across thread
+/// counts when the streams are counter-based.
+struct RunVerdict {
+  bool simulated_violation = false;  ///< watch fired or public fork tied
+  bool analytic_allows = false;      ///< margin >= 0 somewhere in the window
+  bool fork_valid = false;           ///< relabeled execution fork passes F1-F4
+  bool margin_dominated = false;     ///< fork margin <= recurrence margin
+  std::int64_t fork_margin = 0;      ///< mu_{x'} of the relabeled execution fork
+  std::int64_t string_margin = 0;    ///< mu_{x'}(y') of the recurrence, full suffix
+
+  /// The domination invariant: no violation on a margin-forbidden string.
+  [[nodiscard]] bool dominated() const noexcept {
+    return (!simulated_violation || analytic_allows) && fork_valid && margin_dominated;
+  }
+
+  /// Compact encoding for golden pinning: '.' quiet, 'a' margin allows but no
+  /// simulated violation, 'V' simulated violation (analytic side agrees),
+  /// '!' any invariant breach.
+  [[nodiscard]] char code() const noexcept;
+
+  friend bool operator==(const RunVerdict&, const RunVerdict&) = default;
+};
+
+/// Instantiates the simulated strategy for a cell (seed feeds Randomized).
+std::unique_ptr<Adversary> make_strategy(Strategy strategy, const RunConfig& config,
+                                         std::uint64_t seed);
+
+/// Runs one seeded execution of `config` and both sides of the oracle.
+RunVerdict check_execution(const RunConfig& config, Rng& rng);
+
+}  // namespace mh::oracle

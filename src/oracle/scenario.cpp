@@ -1,0 +1,167 @@
+#include "oracle/scenario.hpp"
+
+#include "delta/delta_settlement.hpp"
+#include "engine/seed_sequence.hpp"
+#include "engine/thread_pool.hpp"
+#include "sim/monte_carlo.hpp"
+#include "support/check.hpp"
+
+namespace mh::oracle {
+
+namespace {
+
+CellVerdict run_cell(const MatrixConfig& config, const NamedLaw& named, std::size_t tie_i,
+                     std::size_t delta_i, std::size_t strategy_i, std::size_t law_i,
+                     std::uint64_t cell_seed) {
+  RunConfig rc;
+  rc.law = named.law;
+  rc.tie_break = config.tie_breaks[tie_i];
+  rc.strategy = config.strategies[strategy_i];
+  rc.delta = config.deltas[delta_i];
+  rc.target_slot = config.target_slot;
+  rc.k = config.k;
+  rc.horizon = config.horizon;
+  rc.honest_parties = config.honest_parties;
+
+  CellVerdict out;
+  out.tie_break = rc.tie_break;
+  out.delta = rc.delta;
+  out.strategy = rc.strategy;
+  out.law_index = law_i;
+  out.runs = config.runs;
+
+  const engine::SeedSequence streams(cell_seed);
+  for (std::size_t r = 0; r < config.runs; ++r) {
+    Rng rng = streams.stream(r);
+    const RunVerdict v = check_execution(rc, rng);
+    if (r == 0) out.first_run = v.code();
+    if (v.simulated_violation) ++out.simulated_violations;
+    if (v.analytic_allows) ++out.analytic_allowed;
+    if (v.simulated_violation && !v.analytic_allows) ++out.domination_failures;
+    if (!v.fork_valid) ++out.fork_invalid;
+    if (!v.margin_dominated) ++out.margin_breaches;
+  }
+
+  // Stochastic cross-validation on the cell's reduced law. Below honest
+  // majority the DP saturates at 1 and X_inf diverges, so the bands carry no
+  // information; the ceiling stays at the trivial 1.
+  const SymbolLaw reduced = reduced_law(named.law, rc.delta);
+  out.reduced_epsilon = reduced.epsilon();
+  if (reduced.epsilon() > 0.0) {
+    out.exact_pk = delta_settlement_violation_probability(named.law, rc.delta, rc.k);
+    out.analytic_ceiling = eventual_settlement_insecurity(reduced, 1);
+
+    McOptions mopt;
+    mopt.samples = config.mc_samples;
+    mopt.seed = cell_seed ^ 0x5eedf00dULL;
+    mopt.threads = 1;  // the matrix parallelizes over cells, not inside them
+    const Proportion mc = mc_settlement_violation(reduced, rc.k, mopt);
+    out.recurrence_mc =
+        clopper_pearson_interval(mc.successes, mc.trials, config.band_confidence);
+    out.mc_checked = true;
+    out.mc_within_band = out.recurrence_mc.lo <= static_cast<double>(out.exact_pk) &&
+                         static_cast<double>(out.exact_pk) <= out.recurrence_mc.hi;
+  }
+
+  const Proportion protocol =
+      clopper_pearson_interval(out.simulated_violations, out.runs, config.band_confidence);
+  out.protocol_within_ceiling = protocol.lo <= static_cast<double>(out.analytic_ceiling);
+  return out;
+}
+
+}  // namespace
+
+std::size_t MatrixResult::total_runs() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.runs;
+  return n;
+}
+
+std::size_t MatrixResult::total_violations() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.simulated_violations;
+  return n;
+}
+
+std::size_t MatrixResult::total_domination_failures() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.domination_failures;
+  return n;
+}
+
+std::size_t MatrixResult::total_fork_invalid() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.fork_invalid;
+  return n;
+}
+
+std::size_t MatrixResult::total_margin_breaches() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.margin_breaches;
+  return n;
+}
+
+bool MatrixResult::all_clean() const noexcept {
+  for (const CellVerdict& c : cells)
+    if (!c.clean()) return false;
+  return true;
+}
+
+std::vector<NamedLaw> default_matrix_laws() {
+  return {
+      // Sparse slots (f = 0.2) keep the reduced law honest-majority through
+      // Delta = 2, so the semi-synchronous analytic path is exercised
+      // non-trivially on every Delta axis value.
+      {"semi-sync-honest", theorem7_law(0.2, 0.03, 0.12)},
+      // Dense multiply-honest-heavy law (pH = 0.9, no adversarial stake):
+      // the Theorem-2 workload where tie-breaking alone decides settlement.
+      {"mh-heavy", theorem7_law(1.0, 0.0, 0.10)},
+  };
+}
+
+std::size_t cell_index(const MatrixConfig& config, std::size_t tie_i, std::size_t delta_i,
+                       std::size_t strategy_i, std::size_t law_i) {
+  const std::size_t n_laws =
+      config.laws.empty() ? default_matrix_laws().size() : config.laws.size();
+  return ((tie_i * config.deltas.size() + delta_i) * config.strategies.size() + strategy_i) *
+             n_laws +
+         law_i;
+}
+
+MatrixResult run_scenario_matrix(const MatrixConfig& config) {
+  MH_REQUIRE(!config.tie_breaks.empty() && !config.deltas.empty() &&
+             !config.strategies.empty());
+  MH_REQUIRE(config.runs >= 1);
+  const std::vector<NamedLaw> laws =
+      config.laws.empty() ? default_matrix_laws() : config.laws;
+  for (const NamedLaw& named : laws) named.law.validate();
+
+  const std::size_t n_cells =
+      config.tie_breaks.size() * config.deltas.size() * config.strategies.size() * laws.size();
+  MatrixResult result;
+  result.cells.resize(n_cells);
+
+  const engine::SeedSequence cell_seeds(config.seed);
+  engine::for_each_index(n_cells, config.threads, [&](std::size_t idx) {
+    // Invert the row-major (tie, delta, strategy, law) index.
+    std::size_t rest = idx;
+    const std::size_t law_i = rest % laws.size();
+    rest /= laws.size();
+    const std::size_t strategy_i = rest % config.strategies.size();
+    rest /= config.strategies.size();
+    const std::size_t delta_i = rest % config.deltas.size();
+    const std::size_t tie_i = rest / config.deltas.size();
+    result.cells[idx] = run_cell(config, laws[law_i], tie_i, delta_i, strategy_i, law_i,
+                                 cell_seeds.derive(idx));
+  });
+  return result;
+}
+
+std::string first_run_codes(const MatrixResult& result) {
+  std::string codes;
+  codes.reserve(result.cells.size());
+  for (const CellVerdict& c : result.cells) codes.push_back(c.first_run);
+  return codes;
+}
+
+}  // namespace mh::oracle

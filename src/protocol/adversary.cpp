@@ -136,6 +136,68 @@ BlockHash BalanceAttacker::break_tie(PartyId, const std::vector<BlockHash>& cand
   return candidates.front();
 }
 
+void RandomizedAdversary::on_slot_begin(std::size_t slot, Simulation& sim) {
+  if (!sim.schedule().leaders(slot).adversarial) return;
+  const std::size_t delta = sim.network().delta();
+
+  // Candidate parents: the current maximum-length heads (aggressive play),
+  // occasionally widened by a uniformly random earlier block (explorative
+  // play); either way the label-increase axiom is respected.
+  std::vector<BlockHash> parents;
+  for (BlockHash h : sim.global_tree().max_length_heads())
+    if (sim.global_tree().block(h).slot < slot) parents.push_back(h);
+  if (parents.empty() || rng_.bernoulli(0.25)) {
+    const std::vector<Block>& blocks = sim.all_blocks();
+    for (int tries = 0; tries < 4; ++tries) {
+      const Block& b = blocks[rng_.below(blocks.size())];
+      if (b.slot < slot) {
+        parents.push_back(b.hash);
+        break;
+      }
+    }
+  }
+  if (parents.empty()) return;
+
+  const BlockHash parent = parents[rng_.below(parents.size())];
+  const Block block = sim.mint_adversarial(parent, slot, payload_++);
+  ++minted_;
+
+  // Release policy: keep private, leak to one victim, or publish the whole
+  // chain (ancestors ship along so no recipient sees an orphan), with an
+  // adversary-chosen visibility slot within the Delta window.
+  switch (rng_.below(4)) {
+    case 0: break;  // stay private; a later mint may still publish ancestors
+    case 1: {
+      const PartyId victim = static_cast<PartyId>(rng_.below(sim.nodes().size()));
+      const std::size_t visible = slot + rng_.below(delta + 1);
+      for (BlockHash h : sim.global_tree().chain(block.hash))
+        if (h != genesis_block().hash)
+          sim.network().inject(sim.global_tree().block(h), victim, visible);
+      break;
+    }
+    default: {
+      const std::size_t visible = slot + rng_.below(delta + 1);
+      for (BlockHash h : sim.global_tree().chain(block.hash))
+        if (h != genesis_block().hash)
+          sim.network().inject_all(sim.global_tree().block(h), visible);
+    }
+  }
+}
+
+std::vector<std::size_t> RandomizedAdversary::delivery_delays(const Block&, std::size_t,
+                                                              Simulation& sim) {
+  std::vector<std::size_t> delays(sim.nodes().size(), 0);
+  const std::size_t delta = sim.network().delta();
+  if (delta == 0) return delays;
+  for (std::size_t& d : delays) d = rng_.below(delta + 1);
+  return delays;
+}
+
+BlockHash RandomizedAdversary::break_tie(PartyId, const std::vector<BlockHash>& candidates,
+                                         Simulation&) {
+  return candidates[rng_.below(candidates.size())];
+}
+
 bool BalanceAttacker::balanced(const Simulation& sim) {
   absorb_new_blocks(sim);
   if (tip_a_ == 0 || tip_b_ == 0) return false;

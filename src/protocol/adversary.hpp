@@ -10,12 +10,18 @@
 //     (this is where multiply honest slots help the attacker) and (b) its own
 //     leaderships to re-level and extend both branches. Under the consistent
 //     tie-breaking rule (A0') lever (a) disappears, which is Theorem 2's point.
+//   * RandomizedAdversary — a seeded strategy-fuzzer: random minting targets,
+//     random release scope, random per-recipient delays in [0, Delta], random
+//     tie-breaking. It explores execution corners no hand-written strategy
+//     reaches, which is what the differential oracle wants: whatever it does,
+//     the analytic margin must still dominate the outcome.
 #pragma once
 
 #include <cstdint>
 #include <unordered_map>
 
 #include "protocol/simulation.hpp"
+#include "support/random.hpp"
 
 namespace mh {
 
@@ -68,6 +74,30 @@ class BalanceAttacker : public Adversary {
   std::size_t seen_blocks_ = 0;
   std::uint64_t payload_ = 0xba1a0ceULL;
   std::size_t tie_calls_ = 0;
+};
+
+/// A seeded randomized strategy: every adversarial lever (minting parent,
+/// injection scope and timing, delivery delays, tie-breaking) is drawn from
+/// its own Rng, so the strategy space is sampled rather than scripted. All
+/// choices respect the model's axioms (labels increase, delays <= Delta,
+/// ties broken among the offered candidates), so executions stay inside the
+/// fork framework and the oracle's domination invariants apply.
+class RandomizedAdversary : public Adversary {
+ public:
+  explicit RandomizedAdversary(std::uint64_t seed) : rng_(seed) {}
+
+  void on_slot_begin(std::size_t slot, Simulation& sim) override;
+  std::vector<std::size_t> delivery_delays(const Block& block, std::size_t slot,
+                                           Simulation& sim) override;
+  BlockHash break_tie(PartyId node, const std::vector<BlockHash>& candidates,
+                      Simulation& sim) override;
+
+  [[nodiscard]] std::size_t minted() const noexcept { return minted_; }
+
+ private:
+  Rng rng_;
+  std::size_t minted_ = 0;
+  std::uint64_t payload_ = 0xf022edULL;
 };
 
 }  // namespace mh

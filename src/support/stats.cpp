@@ -63,6 +63,90 @@ Proportion wilson_interval(std::size_t successes, std::size_t trials, double z) 
   return out;
 }
 
+namespace {
+
+/// Lentz's continued-fraction evaluation of the incomplete beta kernel
+/// (Numerical Recipes' betacf); converges in a few dozen iterations for the
+/// argument ranges the Clopper-Pearson endpoints need.
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr double kTiny = 1e-300;
+  constexpr double kEps = 1e-15;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= 300; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// Quantile of the Beta(a, b) law by bisection on the regularized incomplete
+/// beta (monotone); stops as soon as [lo, hi] has no representable midpoint.
+double beta_quantile(double a, double b, double p) {
+  double lo = 0.0, hi = 1.0;
+  for (;;) {
+    const double mid = 0.5 * (lo + hi);
+    if (mid <= lo || mid >= hi) return mid;
+    if (regularized_incomplete_beta(a, b, mid) < p)
+      lo = mid;
+    else
+      hi = mid;
+  }
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  MH_REQUIRE(a > 0.0 && b > 0.0);
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  // Use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) where the fraction converges
+  // fastest.
+  if (x < (a + 1.0) / (a + b + 2.0)) return front * beta_continued_fraction(a, b, x) / a;
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+Proportion clopper_pearson_interval(std::size_t successes, std::size_t trials,
+                                    double confidence) {
+  MH_REQUIRE(trials > 0);
+  MH_REQUIRE(successes <= trials);
+  MH_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  const double alpha = 1.0 - confidence;
+  const double n = static_cast<double>(trials);
+  const double x = static_cast<double>(successes);
+  Proportion out;
+  out.successes = successes;
+  out.trials = trials;
+  out.estimate = x / n;
+  out.lo = successes == 0 ? 0.0 : beta_quantile(x, n - x + 1.0, alpha / 2.0);
+  out.hi = successes == trials ? 1.0 : beta_quantile(x + 1.0, n - x, 1.0 - alpha / 2.0);
+  return out;
+}
+
 double chi_square_statistic(std::span<const std::size_t> observed,
                             std::span<const double> expected_probs) {
   MH_REQUIRE(observed.size() == expected_probs.size());

@@ -42,11 +42,26 @@ struct Proportion {
   /// Pool another disjoint sample: counts add, and the estimate and interval
   /// are recomputed from the pooled counts (at the default 99% Wilson z).
   void merge(const Proportion& other);
+
+  friend bool operator==(const Proportion&, const Proportion&) = default;
 };
 
 /// Wilson score interval for a binomial proportion (default z ~ 99% two-sided).
 /// Behaves sensibly at the extremes (0 or all successes), unlike the normal interval.
 Proportion wilson_interval(std::size_t successes, std::size_t trials, double z = 2.5758);
+
+/// Exact (Clopper-Pearson) two-sided confidence interval for a binomial
+/// proportion: the interval endpoints are beta-distribution quantiles, so the
+/// band covers the true parameter with probability >= `confidence` for every
+/// n and p (no normal approximation). The differential oracle uses these bands
+/// to compare empirical violation frequencies against the exact DP series,
+/// where approximate intervals would turn rare-event mismatches into noise.
+Proportion clopper_pearson_interval(std::size_t successes, std::size_t trials,
+                                    double confidence = 0.99);
+
+/// Regularized incomplete beta function I_x(a, b) (continued fraction), the
+/// primitive behind the Clopper-Pearson endpoints; exposed for tests.
+double regularized_incomplete_beta(double a, double b, double x);
 
 /// Pearson chi-square statistic for observed counts against expected probabilities.
 /// Expects sum(expected_probs) ~ 1; bins with expected count < 5 are merged into

@@ -8,10 +8,92 @@
 // two maximum-length tines are disjoint (share only the root).
 #pragma once
 
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
 #include "chars/char_string.hpp"
 #include "fork/fork.hpp"
+#include "protocol/blocktree.hpp"
+#include "protocol/leader.hpp"
+#include "support/random.hpp"
 
 namespace mh::fixtures {
+
+// ---------------------------------------------------------------------------
+// Shared builders (deduplicated from the per-file ad-hoc helpers of
+// test_fork / test_margin / test_blocktree / test_adversary; the oracle tests
+// use them too).
+// ---------------------------------------------------------------------------
+
+/// A single chain kRoot -> labels[0] -> labels[1] -> ... (labels must strictly
+/// increase). The minimal fork of an honest lone-leader execution.
+inline Fork chain_fork(std::initializer_list<std::uint32_t> labels) {
+  Fork f;
+  VertexId v = kRoot;
+  for (std::uint32_t label : labels) v = f.add_vertex(v, label);
+  return f;
+}
+
+/// Extends `tree` with a chain of blocks at the given slots, returning the
+/// blocks in order (back() is the tip). Issuer and payload default to honest
+/// party 0; distinct payloads keep hashes distinct across parallel chains.
+inline std::vector<Block> grow_chain(BlockTree& tree, BlockHash parent,
+                                     std::initializer_list<std::uint64_t> slots,
+                                     PartyId issuer = 0, std::uint64_t payload = 0) {
+  std::vector<Block> chain;
+  for (std::uint64_t slot : slots) {
+    const Block b = make_block(parent, slot, issuer, payload);
+    tree.add(b);
+    parent = b.hash;
+    chain.push_back(b);
+  }
+  return chain;
+}
+
+/// Visits every characteristic string in {h,H,A}^n in radix-3 order (symbol
+/// index = Symbol enum value). The exhaustive-witness tests (margin brute
+/// force, DP enumeration, distinct-balance validation) share this so the
+/// alphabet and digit decoding live in one place.
+template <typename Visit>
+void for_each_char_string(std::size_t n, Visit&& visit) {
+  constexpr Symbol alphabet[3] = {Symbol::h, Symbol::H, Symbol::A};
+  std::size_t combos = 1;
+  for (std::size_t i = 0; i < n; ++i) combos *= 3;
+  std::vector<Symbol> symbols(n);
+  for (std::size_t c = 0; c < combos; ++c) {
+    std::size_t digits = c;
+    for (std::size_t t = 0; t < n; ++t) {
+      symbols[t] = alphabet[digits % 3];
+      digits /= 3;
+    }
+    visit(std::as_const(symbols));
+  }
+}
+
+/// Materializes a leader schedule from characteristic-string text: 'h' elects
+/// one random honest party, 'H' two distinct ones (the minimal realization of
+/// a multiply honest slot), 'A' the adversarial coalition.
+inline LeaderSchedule schedule_from_text(const char* text, std::size_t parties, Rng& rng) {
+  MH_REQUIRE_MSG(parties >= 2, "H slots need two distinct honest parties");
+  const CharString w = CharString::parse(text);
+  std::vector<SlotLeaders> slots;
+  for (std::size_t t = 1; t <= w.size(); ++t) {
+    SlotLeaders l;
+    if (w.at(t) == Symbol::A) {
+      l.adversarial = true;
+    } else if (w.at(t) == Symbol::h) {
+      l.honest = {static_cast<PartyId>(rng.below(parties))};
+    } else {
+      const PartyId first = static_cast<PartyId>(rng.below(parties));
+      PartyId second = first;
+      while (second == first) second = static_cast<PartyId>(rng.below(parties));
+      l.honest = {first, second};
+    }
+    slots.push_back(std::move(l));
+  }
+  return LeaderSchedule(std::move(slots), parties);
+}
 
 struct Fig1 {
   CharString w = CharString::parse("hAhAhHAAH");

@@ -3,29 +3,15 @@
 #include <gtest/gtest.h>
 
 #include "chars/bernoulli.hpp"
+#include "delta/delta_fork.hpp"
+#include "fork/validate.hpp"
+#include "fork_fixtures.hpp"
+#include "protocol/bridge.hpp"
 
 namespace mh {
 namespace {
 
-LeaderSchedule schedule_from_text(const char* text, std::size_t parties, Rng& rng) {
-  const CharString w = CharString::parse(text);
-  std::vector<SlotLeaders> slots;
-  for (std::size_t t = 1; t <= w.size(); ++t) {
-    SlotLeaders l;
-    if (w.at(t) == Symbol::A) {
-      l.adversarial = true;
-    } else if (w.at(t) == Symbol::h) {
-      l.honest = {static_cast<PartyId>(rng.below(parties))};
-    } else {
-      const PartyId first = static_cast<PartyId>(rng.below(parties));
-      PartyId second = first;
-      while (second == first) second = static_cast<PartyId>(rng.below(parties));
-      l.honest = {first, second};
-    }
-    slots.push_back(std::move(l));
-  }
-  return LeaderSchedule(std::move(slots), parties);
-}
+using fixtures::schedule_from_text;
 
 TEST(PrivateChain, OverwhelmingAdversaryRewritesHistory) {
   // Slot 1 honest, then a long adversarial run: the private chain from
@@ -94,6 +80,34 @@ TEST(Balance, UniquelyHonestSlotsDrainTheBalance) {
   sim.run();
   EXPECT_FALSE(adversary.balanced(sim));
   EXPECT_FALSE(sim.observed_settlement_violation(1));
+}
+
+TEST(Randomized, StaysInsideTheForkModelAndMints) {
+  // The strategy fuzzer can do anything the model allows - and nothing more:
+  // every execution must still bridge to a valid fork for its characteristic
+  // string, which is the property the differential oracle builds on.
+  Rng rng(37);
+  const LeaderSchedule schedule = schedule_from_text("hAHhAhHAhAhHAA", 4, rng);
+  RandomizedAdversary adversary(0xfeedULL);
+  Simulation sim(schedule, SimulationConfig{TieBreak::AdversarialOrder, 7}, 0, &adversary);
+  sim.run();
+  EXPECT_GT(adversary.minted(), 0u);
+  const ExecutionFork execution = fork_from_blocks(sim.all_blocks());
+  const auto result = validate_fork(execution.fork, schedule.characteristic_sync());
+  ASSERT_TRUE(result.ok) << result.message;
+}
+
+TEST(Randomized, DeltaDelaysStayWithinTheWindow) {
+  Rng rng(38);
+  const TetraLaw law = theorem7_law(0.5, 0.15, 0.2);
+  const std::size_t delta = 2;
+  const LeaderSchedule schedule = LeaderSchedule::from_tetra_law(law, 60, 4, rng);
+  RandomizedAdversary adversary(0xbeefULL);
+  Simulation sim(schedule, SimulationConfig{TieBreak::AdversarialOrder, 8}, delta, &adversary);
+  sim.run();
+  const ExecutionFork execution = fork_from_blocks(sim.all_blocks());
+  const auto result = validate_delta_fork(execution.fork, schedule.characteristic(), delta);
+  ASSERT_TRUE(result.ok) << result.message;
 }
 
 TEST(Balance, AdversarialSlotsRepairUniquelyHonestDamage) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "fork_fixtures.hpp"
+
 namespace mh {
 namespace {
 
@@ -35,14 +37,10 @@ TEST(BlockTree, AddValidatesParentSlotAndIntegrity) {
 
 TEST(BlockTree, BestHeadLongestChainWins) {
   BlockTree tree;
-  const Block a1 = make_block(genesis_block().hash, 1, 0, 0);
-  const Block a2 = make_block(a1.hash, 2, 0, 0);
-  const Block b1 = make_block(genesis_block().hash, 3, 1, 0);
-  tree.add(a1);
-  tree.add(a2);
-  tree.add(b1);
-  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), a2.hash);
-  EXPECT_EQ(tree.best_head(TieBreak::ConsistentHash), a2.hash);
+  const auto a = fixtures::grow_chain(tree, genesis_block().hash, {1, 2});
+  fixtures::grow_chain(tree, genesis_block().hash, {3}, 1);
+  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), a.back().hash);
+  EXPECT_EQ(tree.best_head(TieBreak::ConsistentHash), a.back().hash);
   EXPECT_EQ(tree.best_length(), 2u);
 }
 
@@ -61,42 +59,31 @@ TEST(BlockTree, TieBreakByArrivalVsHash) {
 
 TEST(BlockTree, ChainReconstruction) {
   BlockTree tree;
-  const Block a1 = make_block(genesis_block().hash, 1, 0, 0);
-  const Block a2 = make_block(a1.hash, 4, 0, 0);
-  tree.add(a1);
-  tree.add(a2);
-  const auto chain = tree.chain(a2.hash);
+  const auto a = fixtures::grow_chain(tree, genesis_block().hash, {1, 4});
+  const auto chain = tree.chain(a.back().hash);
   ASSERT_EQ(chain.size(), 3u);
   EXPECT_EQ(chain[0], genesis_block().hash);
-  EXPECT_EQ(chain[1], a1.hash);
-  EXPECT_EQ(chain[2], a2.hash);
+  EXPECT_EQ(chain[1], a[0].hash);
+  EXPECT_EQ(chain[2], a[1].hash);
 }
 
 TEST(BlockTree, CommonAncestor) {
   BlockTree tree;
-  const Block trunk = make_block(genesis_block().hash, 1, 0, 0);
-  const Block left = make_block(trunk.hash, 2, 0, 0);
-  const Block right = make_block(trunk.hash, 3, 1, 0);
-  const Block right2 = make_block(right.hash, 4, 1, 0);
-  tree.add(trunk);
-  tree.add(left);
-  tree.add(right);
-  tree.add(right2);
-  EXPECT_EQ(tree.common_ancestor(left.hash, right2.hash), trunk.hash);
-  EXPECT_EQ(tree.common_ancestor(right2.hash, right.hash), right.hash);
-  EXPECT_EQ(tree.common_ancestor(left.hash, left.hash), left.hash);
+  const auto trunk = fixtures::grow_chain(tree, genesis_block().hash, {1});
+  const auto left = fixtures::grow_chain(tree, trunk.back().hash, {2});
+  const auto right = fixtures::grow_chain(tree, trunk.back().hash, {3, 4}, 1);
+  EXPECT_EQ(tree.common_ancestor(left.back().hash, right.back().hash), trunk.back().hash);
+  EXPECT_EQ(tree.common_ancestor(right.back().hash, right.front().hash), right.front().hash);
+  EXPECT_EQ(tree.common_ancestor(left.back().hash, left.back().hash), left.back().hash);
 }
 
 TEST(BlockTree, BlockAtSlot) {
   BlockTree tree;
-  const Block a1 = make_block(genesis_block().hash, 2, 0, 0);
-  const Block a2 = make_block(a1.hash, 5, 0, 0);
-  tree.add(a1);
-  tree.add(a2);
-  EXPECT_EQ(tree.block_at_slot(a2.hash, 5), a2.hash);
-  EXPECT_EQ(tree.block_at_slot(a2.hash, 4), a1.hash);
-  EXPECT_EQ(tree.block_at_slot(a2.hash, 2), a1.hash);
-  EXPECT_EQ(tree.block_at_slot(a2.hash, 1), std::nullopt);
+  const auto a = fixtures::grow_chain(tree, genesis_block().hash, {2, 5});
+  EXPECT_EQ(tree.block_at_slot(a.back().hash, 5), a.back().hash);
+  EXPECT_EQ(tree.block_at_slot(a.back().hash, 4), a.front().hash);
+  EXPECT_EQ(tree.block_at_slot(a.back().hash, 2), a.front().hash);
+  EXPECT_EQ(tree.block_at_slot(a.back().hash, 1), std::nullopt);
 }
 
 TEST(BlockTree, UnknownBlockThrows) {

@@ -1,11 +1,45 @@
 #include "delta/delta_settlement.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <gtest/gtest.h>
 
+#include "core/reach_distribution.hpp"
+#include "core/relative_margin.hpp"
+#include "fork_fixtures.hpp"
 #include "sim/monte_carlo.hpp"
 
 namespace mh {
 namespace {
+
+/// Exhaustive witness for the settlement DP: Pr[mu >= 0 after k symbols] by
+/// enumerating every string in {h,H,A}^k against an explicit initial-reach
+/// law. Exponential and obviously correct - the independent oracle the
+/// reduced-law DP path otherwise lacks.
+long double brute_force_violation(const SymbolLaw& law, std::size_t k,
+                                  const ReachPmf& initial) {
+  const long double p[3] = {law.ph, law.pH, law.pA};
+  long double total = 0.0L;
+  for (std::size_t r = 0; r < initial.mass.size(); ++r) {
+    if (r > k) break;  // mu_0 = r > k can never reach zero within the horizon
+    long double hit = 0.0L;
+    fixtures::for_each_char_string(k, [&](const std::vector<Symbol>& symbols) {
+      MarginProcess process(static_cast<std::int64_t>(r));
+      long double weight = 1.0L;
+      for (const Symbol b : symbols) {
+        process.step(b);
+        weight *= p[static_cast<std::size_t>(b)];
+      }
+      if (process.mu() >= 0) hit += weight;
+    });
+    total += initial.mass[r] * hit;
+  }
+  // Everything above the enumerated reaches (tail included: total() covers
+  // it) is always-violating at depth k.
+  long double covered = 0.0L;
+  for (std::size_t r = 0; r < initial.mass.size() && r <= k; ++r) covered += initial.mass[r];
+  return total + (initial.total() - covered);
+}
 
 TEST(DeltaSettlement, EpsilonDecreasesWithDelta) {
   const TetraLaw law = theorem7_law(0.1, 0.02, 0.05);
@@ -73,6 +107,56 @@ TEST(DeltaSettlement, Lemma2WalkConditionBinds) {
   EXPECT_TRUE(lemma2_event_holds(CharString::parse("hhhhA"), 1, 2, 1));
   EXPECT_TRUE(lemma2_event_holds(CharString::parse("hhhhA"), 1, 2, 2));
   EXPECT_FALSE(lemma2_event_holds(CharString::parse("hhhhA"), 1, 2, 3));
+}
+
+TEST(DeltaSettlement, SeriesMatchesBruteForceEnumerationAtSmallK) {
+  // Independent witness for the reduced-law DP path: for every Delta the
+  // series must equal the exhaustive enumeration over {h,H,A}^k seeded with
+  // the (truncated-exactly) stationary reach law of the reduced symbols.
+  const TetraLaw law = theorem7_law(0.2, 0.02, 0.1);
+  constexpr std::size_t kMaxDepth = 6;
+  for (std::size_t delta : {0u, 1u, 2u}) {
+    const SymbolLaw reduced = reduced_law(law, delta);
+    ASSERT_GT(reduced.epsilon(), 0.0);
+    const SettlementSeries series = delta_settlement_series(law, delta, kMaxDepth);
+    const ReachPmf initial = stationary_reach_distribution(reduced, kMaxDepth);
+    for (std::size_t k = 1; k <= kMaxDepth; ++k) {
+      const long double brute = brute_force_violation(reduced, k, initial);
+      EXPECT_NEAR(static_cast<double>(series.violation[k]), static_cast<double>(brute),
+                  1e-12)
+          << "delta " << delta << ", k " << k;
+    }
+  }
+}
+
+TEST(DeltaSettlement, FiniteDecompositionMatchesFullStringEnumeration) {
+  // Strings of length <= 12, decomposed as w = x y with |y| = k: the weighted
+  // count of mu_x(y) >= 0 over ALL strings w must equal the DP seeded with
+  // the exact finite reach law X_{|x|}. This exercises the ReachPmf entry
+  // point of the DP end to end against the Theorem-5 recurrence itself.
+  const SymbolLaw law = bernoulli_condition(0.35, 0.3);
+  for (const auto [n, k] : {std::pair<std::size_t, std::size_t>{9, 4}, {12, 6}}) {
+    const std::size_t x_len = n - k;
+    const long double p[3] = {law.ph, law.pH, law.pA};
+    long double brute = 0.0L;
+    fixtures::for_each_char_string(n, [&](const std::vector<Symbol>& symbols) {
+      long double weight = 1.0L;
+      for (const Symbol b : symbols) weight *= p[static_cast<std::size_t>(b)];
+      // mu_x(y) via the streaming recurrence: rho over x, then the margin
+      // process over y (equivalent to relative_margin_recurrence(w, x_len),
+      // without re-building a CharString half a million times).
+      std::int64_t rho = 0;
+      for (std::size_t t = 0; t < x_len; ++t)
+        rho = symbols[t] == Symbol::A ? rho + 1 : (rho > 0 ? rho - 1 : 0);
+      MarginProcess process(rho);
+      for (std::size_t t = x_len; t < n; ++t) process.step(symbols[t]);
+      if (process.mu() >= 0) brute += weight;
+    });
+    const ReachPmf initial = finite_reach_distribution(law, x_len, std::max(x_len, k));
+    const SettlementSeries series = exact_settlement_series(law, k, initial);
+    EXPECT_NEAR(static_cast<double>(series.violation[k]), static_cast<double>(brute), 1e-12)
+        << "n " << n << ", k " << k;
+  }
 }
 
 TEST(DeltaSettlement, MonteCarloFailureBelowBound) {

@@ -8,6 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "analysis/sweep.hpp"
 #include "sim/experiments.hpp"
 #include "sim/monte_carlo.hpp"
 #include "support/stats.hpp"
@@ -256,6 +257,35 @@ TEST(ThreadInvariance, ProtocolExperimentDrivers) {
     expect_same_counts(delta1.cp_violations, delta_n.cp_violations);
     EXPECT_DOUBLE_EQ(delta1.mean_slot_divergence, delta_n.mean_slot_divergence);
     EXPECT_DOUBLE_EQ(delta1.mean_chain_length, delta_n.mean_chain_length);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance of the analysis-layer sweeps (each cell is an
+// exact DP pass writing its preassigned slot; the fan must not matter)
+// ---------------------------------------------------------------------------
+
+TEST(ThreadInvariance, AnalysisSweepsBitIdentical) {
+  const std::vector<SymbolLaw> laws = {bernoulli_condition(0.3, 0.4), table1_law(0.2, 0.5),
+                                       SymbolLaw{0.40, 0.25, 0.35}};
+  const std::vector<std::size_t> ks = {5, 20, 40};
+
+  SweepOptions serial;
+  serial.threads = 1;
+  const std::vector<SettlementSeries> series1 = sweep_settlement_series(laws, 40, serial);
+  const std::vector<long double> eventual1 = sweep_eventual_insecurity(laws, ks, serial);
+
+  for (const std::size_t threads : {2u, 8u}) {
+    SweepOptions opt;
+    opt.threads = threads;
+    const std::vector<SettlementSeries> series = sweep_settlement_series(laws, 40, opt);
+    ASSERT_EQ(series.size(), series1.size());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      EXPECT_EQ(series[i].violation, series1[i].violation) << "law " << i;
+      EXPECT_EQ(series[i].always_violating, series1[i].always_violating);
+      EXPECT_EQ(series[i].never_violating, series1[i].never_violating);
+    }
+    EXPECT_EQ(sweep_eventual_insecurity(laws, ks, opt), eventual1);
   }
 }
 

@@ -130,10 +130,7 @@ TEST(Fork, ClosednessAndHonesty) {
   EXPECT_FALSE(is_closed(fig2.fork, fig2.w));  // adversarial leaf a6
 
   // A fork whose only leaves are honest is closed.
-  Fork f;
-  const VertexId a1 = f.add_vertex(kRoot, 1);
-  f.add_vertex(a1, 2);
-  EXPECT_TRUE(is_closed(f, CharString::parse("Ah")));
+  EXPECT_TRUE(is_closed(fixtures::chain_fork({1, 2}), CharString::parse("Ah")));
 }
 
 TEST(Fork, CopySemanticsIndependent) {

@@ -47,9 +47,7 @@ TEST(Margin, SingleChainMarginIsNegativeEarly) {
   // A lone honest chain admits no early-diverging pair: margin over the whole
   // string must be the root's reach.
   const CharString w = CharString::parse("hhh");
-  Fork f;
-  VertexId v = kRoot;
-  for (std::uint32_t slot = 1; slot <= 3; ++slot) v = f.add_vertex(v, slot);
+  const Fork f = fixtures::chain_fork({1, 2, 3});
   EXPECT_EQ(margin(f, w), -3);  // root self-pair: reach(root) = 0 - 3
 }
 

@@ -133,6 +133,45 @@ TEST(LeastSquares, RecoversExactLine) {
   EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
 }
 
+TEST(ClopperPearson, IncompleteBetaMatchesClosedForms) {
+  // I_x(1, b) = 1 - (1-x)^b and I_x(a, 1) = x^a.
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 3.0, 0.2), 1.0 - std::pow(0.8, 3), 1e-12);
+  EXPECT_NEAR(regularized_incomplete_beta(4.0, 1.0, 0.7), std::pow(0.7, 4), 1e-12);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  EXPECT_NEAR(regularized_incomplete_beta(3.5, 2.25, 0.4),
+              1.0 - regularized_incomplete_beta(2.25, 3.5, 0.6), 1e-12);
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 2.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 2.0, 1.0), 1.0);
+}
+
+TEST(ClopperPearson, EndpointsInvertTheBinomialTails) {
+  // The defining property: at the lower endpoint, Pr[X >= x | p = lo] = a/2;
+  // at the upper, Pr[X <= x | p = hi] = a/2. Both tails are incomplete betas:
+  // Pr[X >= x] = I_p(x, n - x + 1) and Pr[X <= x] = 1 - I_p(x + 1, n - x).
+  const std::size_t n = 50, x = 7;
+  const double confidence = 0.95;
+  const Proportion band = clopper_pearson_interval(x, n, confidence);
+  EXPECT_NEAR(regularized_incomplete_beta(x, n - x + 1.0, band.lo), 0.025, 1e-9);
+  EXPECT_NEAR(1.0 - regularized_incomplete_beta(x + 1.0, n - x, band.hi), 0.025, 1e-9);
+  EXPECT_LT(band.lo, band.estimate);
+  EXPECT_GT(band.hi, band.estimate);
+}
+
+TEST(ClopperPearson, ExtremesAndWidthOrdering) {
+  const Proportion none = clopper_pearson_interval(0, 100);
+  EXPECT_EQ(none.lo, 0.0);
+  EXPECT_GT(none.hi, 0.0);
+  const Proportion all = clopper_pearson_interval(100, 100);
+  EXPECT_EQ(all.hi, 1.0);
+  EXPECT_LT(all.lo, 1.0);
+  // Higher confidence widens the band.
+  const Proportion loose = clopper_pearson_interval(20, 200, 0.9);
+  const Proportion tight = clopper_pearson_interval(20, 200, 0.999999);
+  EXPECT_LT(tight.lo, loose.lo);
+  EXPECT_GT(tight.hi, loose.hi);
+  EXPECT_THROW(clopper_pearson_interval(5, 4), std::exception);
+}
+
 TEST(DecayRate, RecoversExponentialRate) {
   std::vector<double> k, p;
   for (int i = 1; i <= 20; ++i) {
