@@ -2,28 +2,13 @@
 
 namespace mh {
 
-namespace {
-
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
-constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
-
-constexpr std::uint64_t fnv_mix(std::uint64_t state, std::uint64_t word) {
-  for (int byte = 0; byte < 8; ++byte) {
-    state ^= (word >> (8 * byte)) & 0xffu;
-    state *= kFnvPrime;
-  }
-  return state;
-}
-
-}  // namespace
-
 BlockHash block_hash(BlockHash parent, std::uint64_t slot, PartyId issuer,
                      std::uint64_t payload) {
-  std::uint64_t h = kFnvOffset;
-  h = fnv_mix(h, parent);
-  h = fnv_mix(h, slot);
-  h = fnv_mix(h, issuer);
-  h = fnv_mix(h, payload);
+  std::uint64_t h = kFnvOffsetBasis;
+  h = fnv1a_accumulate(h, parent);
+  h = fnv1a_accumulate(h, slot);
+  h = fnv1a_accumulate(h, issuer);
+  h = fnv1a_accumulate(h, payload);
   return h;
 }
 

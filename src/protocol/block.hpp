@@ -27,6 +27,19 @@ struct Block {
   friend bool operator==(const Block&, const Block&) = default;
 };
 
+/// FNV-1a building blocks, shared by the header hash below and by digest
+/// folds over block streams (e.g. the transport seed pins).
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+
+constexpr std::uint64_t fnv1a_accumulate(std::uint64_t state, std::uint64_t word) {
+  constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+  for (int byte = 0; byte < 8; ++byte) {
+    state ^= (word >> (8 * byte)) & 0xffu;
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
 /// FNV-1a over the header fields; collision-free for our purposes and cheap.
 BlockHash block_hash(BlockHash parent, std::uint64_t slot, PartyId issuer,
                      std::uint64_t payload);

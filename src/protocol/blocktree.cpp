@@ -1,6 +1,7 @@
 #include "protocol/blocktree.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "support/check.hpp"
 
@@ -8,92 +9,162 @@ namespace mh {
 
 BlockTree::BlockTree() {
   const Block& genesis = genesis_block();
-  blocks_.emplace(genesis.hash, Entry{genesis, 0, 0});
+  entries_.push_back(Entry{genesis, 0, {}});
   arrival_.push_back(genesis.hash);
+  index_.emplace(genesis.hash, 0);
+  head_idx_.push_back(0);
+  min_hash_head_ = genesis.hash;
 }
 
-bool BlockTree::add(const Block& block) {
-  if (blocks_.contains(block.hash)) return true;
-  if (!verify_block_integrity(block)) return false;
-  const auto parent = blocks_.find(block.parent);
-  if (parent == blocks_.end()) return false;
-  if (block.slot <= parent->second.block.slot) return false;
+BlockTree::AddResult BlockTree::try_add(const Block& block) {
+  if (index_.contains(block.hash)) return AddResult::Duplicate;
+  if (!verify_block_integrity(block)) return AddResult::Invalid;
+  const auto parent = index_.find(block.parent);
+  if (parent == index_.end()) return AddResult::Orphan;
+  const std::uint32_t parent_idx = parent->second;
+  if (block.slot <= entries_[parent_idx].block.slot) return AddResult::Invalid;
 
-  Entry entry{block, parent->second.length + 1, arrival_.size()};
-  best_length_ = std::max(best_length_, entry.length);
-  blocks_.emplace(block.hash, entry);
+  MH_ASSERT_MSG(entries_.size() < 0xffffffffu, "block tree index space exhausted");
+  const auto idx = static_cast<std::uint32_t>(entries_.size());
+  Entry entry{block, entries_[parent_idx].length + 1, {}};
+  // Binary lifting: up[j] exists for every 2^j <= length, built from the
+  // parent's pointers (the 2^(j-1)-th ancestor's 2^(j-1)-th ancestor).
+  entry.up.reserve(std::bit_width(static_cast<std::uint32_t>(entry.length)));
+  entry.up.push_back(parent_idx);
+  for (std::size_t j = 1; (1u << j) <= entry.length; ++j) {
+    const std::uint32_t half = entry.up[j - 1];
+    entry.up.push_back(entries_[half].up[j - 1]);
+  }
+
+  // Incremental head-set maintenance: a strictly longer chain resets the tie
+  // set; an equal-length one joins it (arrival order is insertion order).
+  if (entry.length > best_length_) {
+    best_length_ = entry.length;
+    head_idx_.clear();
+    head_idx_.push_back(idx);
+    min_hash_head_ = block.hash;
+  } else if (entry.length == best_length_) {
+    head_idx_.push_back(idx);
+    min_hash_head_ = std::min(min_hash_head_, block.hash);
+  }
+
+  entries_.push_back(std::move(entry));
   arrival_.push_back(block.hash);
-  return true;
+  index_.emplace(block.hash, idx);
+  return AddResult::Added;
 }
 
-bool BlockTree::contains(BlockHash hash) const { return blocks_.contains(hash); }
+bool BlockTree::contains(BlockHash hash) const { return index_.contains(hash); }
 
-const Block& BlockTree::block(BlockHash hash) const {
-  const auto it = blocks_.find(hash);
-  MH_REQUIRE_MSG(it != blocks_.end(), "unknown block");
-  return it->second.block;
+std::uint32_t BlockTree::index_of(BlockHash hash) const {
+  const auto it = index_.find(hash);
+  MH_REQUIRE_MSG(it != index_.end(), "unknown block");
+  return it->second;
 }
 
-std::size_t BlockTree::length(BlockHash hash) const {
-  const auto it = blocks_.find(hash);
-  MH_REQUIRE_MSG(it != blocks_.end(), "unknown block");
-  return it->second.length;
+const Block& BlockTree::block(BlockHash hash) const { return entries_[index_of(hash)].block; }
+
+std::size_t BlockTree::length(BlockHash hash) const { return entries_[index_of(hash)].length; }
+
+std::uint32_t BlockTree::lift(std::uint32_t idx, std::size_t steps) const {
+  for (std::size_t j = 0; steps != 0; ++j, steps >>= 1)
+    if (steps & 1u) idx = entries_[idx].up[j];
+  return idx;
 }
 
 BlockHash BlockTree::best_head(TieBreak rule) const {
-  BlockHash best = genesis_block().hash;
-  std::size_t best_len = 0;
-  std::size_t best_arrival = 0;
-  std::uint64_t best_hash_key = genesis_block().hash;
-  for (BlockHash h : arrival_) {
-    const Entry& e = blocks_.at(h);
-    if (e.length < best_len) continue;
-    bool take = e.length > best_len;
-    if (!take && e.length == best_len) {
-      take = rule == TieBreak::AdversarialOrder ? e.arrival < best_arrival
-                                                : e.block.hash < best_hash_key;
-    }
-    if (take) {
-      best = h;
-      best_len = e.length;
-      best_arrival = e.arrival;
-      best_hash_key = e.block.hash;
-    }
-  }
-  return best;
+  // AdversarialOrder intentionally means FIRST arrival among the tied
+  // maximum-length heads: the adversary, ordering deliveries per recipient,
+  // decides which tied head arrives first (the seed's "later arrival wins"
+  // comparison branch could never fire and is gone).
+  return rule == TieBreak::AdversarialOrder ? arrival_[head_idx_.front()] : min_hash_head_;
 }
 
 std::vector<BlockHash> BlockTree::max_length_heads() const {
   std::vector<BlockHash> out;
-  for (BlockHash h : arrival_)
-    if (blocks_.at(h).length == best_length_) out.push_back(h);
+  out.reserve(head_idx_.size());
+  for (const std::uint32_t idx : head_idx_) out.push_back(arrival_[idx]);
   return out;
 }
 
 std::vector<BlockHash> BlockTree::chain(BlockHash head) const {
-  std::vector<BlockHash> out;
-  for (BlockHash h = head;; h = block(h).parent) {
-    out.push_back(h);
-    if (h == genesis_block().hash) break;
+  std::uint32_t idx = index_of(head);
+  std::vector<BlockHash> out(static_cast<std::size_t>(entries_[idx].length) + 1);
+  for (std::size_t pos = out.size(); pos-- > 0;) {
+    out[pos] = entries_[idx].block.hash;
+    if (pos != 0) idx = entries_[idx].up[0];
   }
-  std::reverse(out.begin(), out.end());
   return out;
 }
 
 BlockHash BlockTree::common_ancestor(BlockHash a, BlockHash b) const {
-  while (a != b) {
-    if (length(a) >= length(b))
-      a = block(a).parent;
-    else
-      b = block(b).parent;
+  std::uint32_t ia = index_of(a);
+  std::uint32_t ib = index_of(b);
+  if (entries_[ia].length > entries_[ib].length) std::swap(ia, ib);
+  ib = lift(ib, entries_[ib].length - entries_[ia].length);
+  if (ia == ib) return entries_[ia].block.hash;
+  for (std::size_t j = entries_[ia].up.size(); j-- > 0;) {
+    if (j >= entries_[ia].up.size()) continue;  // shrunk below a prior jump level
+    if (entries_[ia].up[j] != entries_[ib].up[j]) {
+      ia = entries_[ia].up[j];
+      ib = entries_[ib].up[j];
+    }
   }
-  return a;
+  return entries_[entries_[ia].up[0]].block.hash;
 }
 
 std::optional<BlockHash> BlockTree::block_at_slot(BlockHash head, std::uint64_t slot) const {
-  for (BlockHash h = head; h != genesis_block().hash; h = block(h).parent)
-    if (block(h).slot <= slot) return h;
-  return std::nullopt;
+  std::uint32_t idx = index_of(head);
+  if (idx == 0) return std::nullopt;
+  if (entries_[idx].block.slot <= slot) return entries_[idx].block.hash;
+  // Slots are strictly increasing along a chain: lift to the lowest ancestor
+  // still labelled past `slot`; its parent is the deepest block at <= slot.
+  for (std::size_t j = entries_[idx].up.size(); j-- > 0;) {
+    if (j >= entries_[idx].up.size()) continue;
+    const std::uint32_t anc = entries_[idx].up[j];
+    if (entries_[anc].block.slot > slot) idx = anc;
+  }
+  const std::uint32_t deepest = entries_[idx].up[0];
+  if (deepest == 0) return std::nullopt;
+  return entries_[deepest].block.hash;
+}
+
+BlockHash BlockTree::ancestor_at_length(BlockHash head, std::size_t len) const {
+  const std::uint32_t idx = index_of(head);
+  MH_REQUIRE_MSG(len <= entries_[idx].length, "ancestor below genesis");
+  return entries_[lift(idx, entries_[idx].length - len)].block.hash;
+}
+
+void OrphanBuffer::buffer(const Block& block) {
+  if (hashes_.insert(block.hash).second) orphans_.push_back(block);
+}
+
+void OrphanBuffer::flush(BlockTree& tree, std::vector<Block>* accepted) {
+  bool progress = true;
+  while (progress && !orphans_.empty()) {
+    progress = false;
+    std::vector<Block> still;
+    still.reserve(orphans_.size());
+    for (const Block& b : orphans_) {
+      switch (tree.try_add(b)) {
+        case BlockTree::AddResult::Added:
+          if (accepted) accepted->push_back(b);
+          hashes_.erase(b.hash);
+          progress = true;
+          break;
+        case BlockTree::AddResult::Orphan:
+          still.push_back(b);
+          break;
+        case BlockTree::AddResult::Duplicate:
+        case BlockTree::AddResult::Invalid:
+          // A buffered block whose parent arrived but whose labels are bad is
+          // permanently invalid — drop it instead of retrying forever.
+          hashes_.erase(b.hash);
+          break;
+      }
+    }
+    orphans_.swap(still);
+  }
 }
 
 }  // namespace mh

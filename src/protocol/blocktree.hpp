@@ -2,14 +2,24 @@
 // with longest-chain selection under the two tie-breaking regimes:
 //
 //   * AdversarialOrder (axiom A0): ties between maximum-length chains resolve
-//     by arrival order, which the rushing adversary controls per recipient;
+//     by FIRST arrival, which the rushing adversary controls per recipient
+//     (it orders each slot's deliveries, so "first" is its choice);
 //   * ConsistentHash (axiom A0'): every honest party breaks ties by the
 //     minimal head hash, so identical views yield identical selections.
+//
+// The tree is built for long executions: every block stores binary-lifting
+// ancestor pointers (up[j] = the 2^j-th ancestor), and the maximum-length
+// head set plus both tie-break winners are maintained incrementally on add.
+// Consequently best_head / max_length_heads are O(1)+copy, and the ancestry
+// queries (common_ancestor, block_at_slot, ancestor_at_length) are
+// O(log chain) instead of O(chain).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "protocol/block.hpp"
@@ -20,37 +30,55 @@ enum class TieBreak { AdversarialOrder, ConsistentHash };
 
 class BlockTree {
  public:
+  /// Why an insertion did (not) extend the tree. `Orphan` is the only
+  /// retriable outcome (the parent may still arrive); `Invalid` blocks can
+  /// never become valid (tampered header, or slot not strictly above the
+  /// parent's) and must not be buffered.
+  enum class AddResult : std::uint8_t { Added, Duplicate, Orphan, Invalid };
+
   BlockTree();
 
-  /// Validates and inserts: parent must be known, slot strictly increasing,
-  /// header hash intact. Re-insertion of a known block is a no-op.
-  /// Returns false (and ignores the block) when invalid.
-  bool add(const Block& block);
+  /// Validates and inserts: header hash intact, parent known, slot strictly
+  /// increasing. Returns the precise outcome; the block is ignored unless
+  /// `Added`.
+  AddResult try_add(const Block& block);
+
+  /// `try_add`, collapsed to "is the block in the tree after the call".
+  bool add(const Block& block) {
+    const AddResult r = try_add(block);
+    return r == AddResult::Added || r == AddResult::Duplicate;
+  }
 
   [[nodiscard]] bool contains(BlockHash hash) const;
   [[nodiscard]] const Block& block(BlockHash hash) const;
   /// Chain length from genesis (genesis has length 0).
   [[nodiscard]] std::size_t length(BlockHash hash) const;
-  [[nodiscard]] std::size_t block_count() const noexcept { return blocks_.size(); }
+  [[nodiscard]] std::size_t block_count() const noexcept { return entries_.size(); }
 
-  /// Longest-chain selection among all known heads per the tie-break rule.
+  /// Longest-chain selection per the tie-break rule, O(1): under
+  /// AdversarialOrder the first-arrived maximum-length block wins; under
+  /// ConsistentHash the minimal hash among them.
   [[nodiscard]] BlockHash best_head(TieBreak rule) const;
   /// All maximum-length chain heads, in arrival order (the tie set the
-  /// adversary may order under axiom A0).
+  /// adversary may order under axiom A0). O(|heads|) copy.
   [[nodiscard]] std::vector<BlockHash> max_length_heads() const;
   /// Length of the currently best chain.
   [[nodiscard]] std::size_t best_length() const noexcept { return best_length_; }
 
-  /// Genesis-to-head block sequence (genesis included).
+  /// Genesis-to-head block sequence (genesis included). O(chain).
   [[nodiscard]] std::vector<BlockHash> chain(BlockHash head) const;
 
-  /// Hash of the deepest common ancestor of two chains.
+  /// Hash of the deepest common ancestor of two chains. O(log chain).
   [[nodiscard]] BlockHash common_ancestor(BlockHash a, BlockHash b) const;
 
   /// The block of the chain `head` with the largest slot <= s, if different
   /// from genesis; used for settlement checks ("what does this chain say about
-  /// slot s?").
+  /// slot s?"). O(log chain).
   [[nodiscard]] std::optional<BlockHash> block_at_slot(BlockHash head, std::uint64_t slot) const;
+
+  /// The ancestor of `head` at chain length `len` (genesis for len = 0);
+  /// requires len <= length(head). O(log chain).
+  [[nodiscard]] BlockHash ancestor_at_length(BlockHash head, std::size_t len) const;
 
   /// All block hashes in arrival order (genesis first).
   [[nodiscard]] const std::vector<BlockHash>& arrival_order() const noexcept {
@@ -60,12 +88,40 @@ class BlockTree {
  private:
   struct Entry {
     Block block;
-    std::size_t length = 0;
-    std::size_t arrival = 0;
+    std::uint32_t length = 0;
+    /// Binary-lifting pointers: up[j] = index of the 2^j-th ancestor, present
+    /// for every 2^j <= length (so up[0] is the parent). Genesis has none.
+    std::vector<std::uint32_t> up;
   };
-  std::unordered_map<BlockHash, Entry> blocks_;
+
+  [[nodiscard]] std::uint32_t index_of(BlockHash hash) const;
+  [[nodiscard]] std::uint32_t lift(std::uint32_t idx, std::size_t steps) const;
+
+  std::vector<Entry> entries_;  ///< arrival order; index 0 = genesis
   std::vector<BlockHash> arrival_;
+  std::unordered_map<BlockHash, std::uint32_t> index_;
   std::size_t best_length_ = 0;
+  std::vector<std::uint32_t> head_idx_;  ///< max-length blocks, arrival order
+  BlockHash min_hash_head_ = 0;          ///< min hash among head_idx_
+};
+
+/// The parent-unknown buffer shared by honest nodes and the simulation's
+/// public view: deduplicated (re-delivery cannot grow it), retried against a
+/// tree until no progress, and permanently invalid blocks are dropped instead
+/// of retried forever.
+class OrphanBuffer {
+ public:
+  /// Buffers the block unless an identical hash is already waiting.
+  void buffer(const Block& block);
+  /// Retries every buffered block against `tree` until no further progress;
+  /// newly admitted blocks are appended to `*accepted` (when non-null) in
+  /// acceptance order. Duplicate and Invalid outcomes drop the block.
+  void flush(BlockTree& tree, std::vector<Block>* accepted);
+  [[nodiscard]] std::size_t size() const noexcept { return orphans_.size(); }
+
+ private:
+  std::vector<Block> orphans_;
+  std::unordered_set<BlockHash> hashes_;  ///< dedupe of orphans_
 };
 
 }  // namespace mh

@@ -1,5 +1,7 @@
 #include "protocol/network.hpp"
 
+#include <algorithm>
+
 #include "support/check.hpp"
 
 namespace mh {
@@ -9,39 +11,171 @@ Network::Network(std::size_t parties, std::size_t delta)
   MH_REQUIRE(parties >= 1);
 }
 
+void Network::record(std::unordered_map<BlockHash, std::size_t>& sent, BlockHash hash,
+                     std::size_t due) {
+  const auto [it, inserted] = sent.try_emplace(hash, due);
+  if (!inserted) it->second = std::min(it->second, due);
+}
+
+bool Network::covered(PartyId recipient, BlockHash hash, std::size_t due) const {
+  if (covered_all(hash, due)) return true;
+  const auto& sent = queues_[recipient].sent;
+  const auto it = sent.find(hash);
+  return it != sent.end() && it->second <= due;
+}
+
+bool Network::covered_all(BlockHash hash, std::size_t due) const {
+  if (hash == genesis_block().hash) return true;
+  const auto all = sent_all_.find(hash);
+  return all != sent_all_.end() && all->second <= due;
+}
+
+void Network::push(PartyId recipient, const Block& block, std::size_t due) {
+  queues_[recipient].buckets[due].push_back(block);
+}
+
+void Network::record_recipient(PartyId recipient, BlockHash hash, std::size_t due) {
+  RecipientQueue& queue = queues_[recipient];
+  const auto [it, inserted] = queue.sent.try_emplace(hash, due);
+  if (!inserted) {
+    if (due >= it->second) return;  // no tightening: nothing new to expire
+    it->second = due;
+  }
+  queue.sent_log.emplace_back(hash, due);
+}
+
+void Network::expire_watermarks(PartyId recipient, std::size_t slot) {
+  // A per-recipient entry only beats sent_all_ for dues below the round's
+  // maximum, and every query after `slot` uses a due past it; delta + 1 slots
+  // after an entry's due it can no longer answer differently than a fresh
+  // re-ship would, so dropping it is safe (worst case: a duplicate re-ship at
+  // a position the seed transport always shipped).
+  RecipientQueue& queue = queues_[recipient];
+  while (!queue.sent_log.empty() && queue.sent_log.front().second + delta_ + 1 <= slot) {
+    const auto [hash, due] = queue.sent_log.front();
+    queue.sent_log.pop_front();
+    const auto it = queue.sent.find(hash);
+    if (it != queue.sent.end() && it->second == due) queue.sent.erase(it);
+  }
+}
+
 void Network::broadcast(const Block& block, std::size_t sent_slot,
                         const std::vector<std::size_t>& per_recipient_delay) {
   MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
-  for (PartyId r = 0; r < parties_; ++r) {
-    std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
-    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
-    queues_[r].push_back(Pending{block, sent_slot + 1 + delay});
+  if (per_recipient_delay.empty()) {
+    const std::size_t due = sent_slot + 1;
+    for (PartyId r = 0; r < parties_; ++r) push(r, block, due);
+    // The block carries no ancestry here; it is chain-complete for all
+    // recipients only if its parent already is by the same due.
+    if (covered_all(block.parent, due)) record(sent_all_, block.hash, due);
+    return;
   }
+  std::size_t due_max = sent_slot + 1;
+  for (PartyId r = 0; r < parties_; ++r) {
+    const std::size_t delay = per_recipient_delay[r];
+    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
+    const std::size_t due = sent_slot + 1 + delay;
+    due_max = std::max(due_max, due);
+    push(r, block, due);
+    if (covered(r, block.parent, due)) record_recipient(r, block.hash, due);
+  }
+  if (covered_all(block.parent, due_max)) record(sent_all_, block.hash, due_max);
+}
+
+void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::size_t sent_slot,
+                              const std::vector<std::size_t>& per_recipient_delay) {
+  MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
+  // An all-equal delay vector (adversaries often return all-zeros) is a
+  // uniform broadcast: handle it on the fast path so the per-recipient
+  // watermark maps stay empty — sent_all_ alone carries the coverage.
+  const bool uniform =
+      per_recipient_delay.empty() ||
+      std::all_of(per_recipient_delay.begin(), per_recipient_delay.end(),
+                  [&](std::size_t d) { return d == per_recipient_delay.front(); });
+  if (uniform) {
+    const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay.front();
+    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
+    // One watermark walk covers every recipient.
+    const std::size_t due = sent_slot + 1 + delay;
+    lift_scratch_.clear();
+    for (BlockHash h = block.parent; !covered_all(h, due); h = tree.block(h).parent)
+      lift_scratch_.push_back(h);
+    for (std::size_t i = lift_scratch_.size(); i-- > 0;) {
+      const Block& ancestor = tree.block(lift_scratch_[i]);
+      for (PartyId r = 0; r < parties_; ++r) push(r, ancestor, due);
+      record(sent_all_, ancestor.hash, due);
+    }
+    for (PartyId r = 0; r < parties_; ++r) push(r, block, due);
+    record(sent_all_, block.hash, due);
+    return;
+  }
+
+  std::size_t due_max = sent_slot + 1;
+  for (PartyId r = 0; r < parties_; ++r) {
+    const std::size_t delay = per_recipient_delay[r];
+    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
+    const std::size_t due = sent_slot + 1 + delay;
+    due_max = std::max(due_max, due);
+    lift_scratch_.clear();
+    for (BlockHash h = block.parent; h != genesis_block().hash && !covered(r, h, due);
+         h = tree.block(h).parent)
+      lift_scratch_.push_back(h);
+    for (std::size_t i = lift_scratch_.size(); i-- > 0;) {
+      push(r, tree.block(lift_scratch_[i]), due);
+      record_recipient(r, lift_scratch_[i], due);
+    }
+    push(r, block, due);
+    record_recipient(r, block.hash, due);
+  }
+  // After the round every recipient holds the block with full ancestry by the
+  // latest due, so the all-recipient bound tightens (and future walks stop on
+  // it instead of consulting per-recipient state).
+  for (BlockHash h = block.parent; !covered_all(h, due_max); h = tree.block(h).parent)
+    record(sent_all_, h, due_max);
+  record(sent_all_, block.hash, due_max);
 }
 
 void Network::inject(const Block& block, PartyId recipient, std::size_t visible_slot) {
   MH_REQUIRE(recipient < parties_);
-  queues_[recipient].push_back(Pending{block, visible_slot});
+  push(recipient, block, visible_slot);
+  // Watermarks must stay chain-complete: a partial disclosure (parent not
+  // covered) is NOT recorded, so later honest broadcasts re-ship the prefix.
+  if (covered(recipient, block.parent, visible_slot))
+    record_recipient(recipient, block.hash, visible_slot);
 }
 
 void Network::inject_all(const Block& block, std::size_t visible_slot) {
-  for (PartyId r = 0; r < parties_; ++r) queues_[r].push_back(Pending{block, visible_slot});
+  // When the parent is covered for everyone, the all-recipient record alone
+  // carries the coverage — per-recipient entries would be strictly redundant.
+  const bool all_covered = covered_all(block.parent, visible_slot);
+  for (PartyId r = 0; r < parties_; ++r) {
+    push(r, block, visible_slot);
+    if (!all_covered && covered(r, block.parent, visible_slot))
+      record_recipient(r, block.hash, visible_slot);
+  }
+  if (all_covered) record(sent_all_, block.hash, visible_slot);
 }
 
 std::vector<Block> Network::collect(PartyId recipient, std::size_t slot) {
-  MH_REQUIRE(recipient < parties_);
   std::vector<Block> due;
-  auto& queue = queues_[recipient];
-  std::vector<Pending> keep;
-  keep.reserve(queue.size());
-  for (Pending& p : queue) {
-    if (p.due <= slot)
-      due.push_back(p.block);
-    else
-      keep.push_back(p);
-  }
-  queue.swap(keep);
+  collect_into(recipient, slot, &due);
   return due;
+}
+
+void Network::collect_into(PartyId recipient, std::size_t slot, std::vector<Block>* out) {
+  MH_REQUIRE(recipient < parties_);
+  expire_watermarks(recipient, slot);
+  out->clear();
+  auto& buckets = queues_[recipient].buckets;
+  while (!buckets.empty()) {
+    const auto first = buckets.begin();
+    if (first->first > slot) break;
+    if (out->empty() && first->second.size() >= out->capacity())
+      *out = std::move(first->second);
+    else
+      out->insert(out->end(), first->second.begin(), first->second.end());
+    buckets.erase(first);
+  }
 }
 
 }  // namespace mh

@@ -6,12 +6,30 @@
 // per-recipient delivery slot, may inject its own blocks for any recipient at
 // any slot, and chooses the per-recipient ordering of each slot's deliveries
 // (the tie-breaking lever of the settlement game).
+//
+// Transport complexity: deliveries are kept in per-recipient slot buckets, so
+// collect() pops exactly the due buckets — O(due + log pending-slots) instead
+// of a scan of everything in flight. The "messages are chains" guarantee is
+// preserved by broadcast_chain() + per-recipient delivered watermarks: a
+// forger ships, per recipient, only the ancestors that recipient has not
+// already been scheduled to receive by the block's own due slot (ordered
+// ancestors-first), so per-slot traffic is proportional to NEWLY forged
+// blocks, not to chain history.
+//
+// Ordering contract: a recipient's deliveries are ordered by due slot, then
+// by scheduling order within the slot (the adversary orders a slot's
+// deliveries by choosing insertion time). Drivers that collect every slot —
+// the Simulation does — observe exactly the seed transport's order.
 #pragma once
 
 #include <cstddef>
+#include <deque>
+#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "protocol/block.hpp"
+#include "protocol/blocktree.hpp"
 
 namespace mh {
 
@@ -24,8 +42,17 @@ class Network {
 
   /// Honest broadcast at slot `sent_slot`; `delay[r]` in [0, delta] is the
   /// adversary's extra hold-back for recipient r (empty = no extra delay).
+  /// Ships the block alone (no ancestry).
   void broadcast(const Block& block, std::size_t sent_slot,
                  const std::vector<std::size_t>& per_recipient_delay = {});
+
+  /// Chain-synced broadcast of a freshly forged block: ships `block` plus,
+  /// per recipient, exactly the ancestors (resolved through `tree`) that the
+  /// recipient has not already been scheduled to receive by the block's due
+  /// slot — ancestors first, so no honest block ever arrives parentless.
+  /// Amortized O(parties) per call once the chain prefix has been synced.
+  void broadcast_chain(const BlockTree& tree, const Block& block, std::size_t sent_slot,
+                       const std::vector<std::size_t>& per_recipient_delay = {});
 
   /// Adversarial targeted injection, visible to `recipient` at `visible_slot`.
   void inject(const Block& block, PartyId recipient, std::size_t visible_slot);
@@ -33,19 +60,49 @@ class Network {
   /// Adversarial injection to everyone at the given slot.
   void inject_all(const Block& block, std::size_t visible_slot);
 
-  /// Deliveries for `recipient` due at the onset of `slot`, in the order they
-  /// were scheduled (the adversary schedules last-minute injections first or
-  /// last as it pleases by choosing insertion time).
+  /// Deliveries for `recipient` due at the onset of `slot` (due bucket pops;
+  /// see the ordering contract above).
   [[nodiscard]] std::vector<Block> collect(PartyId recipient, std::size_t slot);
 
+  /// Allocation-free collect for the simulation hot loop.
+  void collect_into(PartyId recipient, std::size_t slot, std::vector<Block>* out);
+
  private:
-  struct Pending {
-    Block block;
-    std::size_t due;
+  struct RecipientQueue {
+    /// due slot -> blocks scheduled for that onset, in scheduling order.
+    std::map<std::size_t, std::vector<Block>> buckets;
+    /// Chain-complete watermark: sent[h] = d means this recipient has been
+    /// scheduled to receive h AND its whole ancestry by due slot <= d.
+    /// Only populated when coverage differs from the all-recipient bound,
+    /// and entries expire delta + 1 slots past their due (see sent_log):
+    /// dropping a watermark is always safe — it only makes a later
+    /// broadcast_chain re-ship a duplicate the seed transport shipped anyway.
+    std::unordered_map<BlockHash, std::size_t> sent;
+    /// FIFO of (hash, due) insertions backing the expiry sweep in collect.
+    std::deque<std::pair<BlockHash, std::size_t>> sent_log;
   };
+
+  /// Is `hash` (with full ancestry) scheduled for `recipient` by `due`?
+  [[nodiscard]] bool covered(PartyId recipient, BlockHash hash, std::size_t due) const;
+  /// Is `hash` (with full ancestry) scheduled for EVERY recipient by `due`?
+  /// Genesis is always covered, so ancestry walks terminate on it.
+  [[nodiscard]] bool covered_all(BlockHash hash, std::size_t due) const;
+  /// Record a chain-complete ship, keeping the tightest (smallest) due.
+  static void record(std::unordered_map<BlockHash, std::size_t>& sent, BlockHash hash,
+                     std::size_t due);
+  /// `record` into a recipient's map, logging the insertion for expiry.
+  void record_recipient(PartyId recipient, BlockHash hash, std::size_t due);
+  /// Drop per-recipient watermarks whose due lies delta + 1 slots behind.
+  void expire_watermarks(PartyId recipient, std::size_t slot);
+  void push(PartyId recipient, const Block& block, std::size_t due);
+
   std::size_t parties_;
   std::size_t delta_;
-  std::vector<std::vector<Pending>> queues_;  // per recipient
+  std::vector<RecipientQueue> queues_;  // per recipient
+  /// Chain-complete watermark valid for EVERY recipient (bound on the max of
+  /// the per-recipient dues); keeps the uniform-broadcast fast path O(1).
+  std::unordered_map<BlockHash, std::size_t> sent_all_;
+  std::vector<BlockHash> lift_scratch_;  ///< ancestors pending ship, reused
 };
 
 }  // namespace mh

@@ -9,29 +9,22 @@ HonestNode::HonestNode(PartyId id, TieBreak rule, const LeaderSchedule* schedule
   MH_REQUIRE(schedule != nullptr);
 }
 
-void HonestNode::receive(const Block& block) {
-  if (!verify_block_integrity(block)) return;               // forged header
+void HonestNode::receive(const Block& block, std::vector<Block>* accepted) {
+  if (!verify_block_integrity(block)) return;                  // forged header
   if (!schedule_->eligible(block.issuer, block.slot)) return;  // signature check
-  if (!tree_.add(block)) {
-    orphans_.push_back(block);  // parent not yet known; retry later
-    return;
-  }
-  flush_orphans();
-}
-
-void HonestNode::flush_orphans() {
-  bool progress = true;
-  while (progress && !orphans_.empty()) {
-    progress = false;
-    std::vector<Block> still;
-    still.reserve(orphans_.size());
-    for (const Block& b : orphans_) {
-      if (tree_.add(b))
-        progress = true;
-      else
-        still.push_back(b);
-    }
-    orphans_.swap(still);
+  switch (tree_.try_add(block)) {
+    case BlockTree::AddResult::Added:
+      if (accepted) accepted->push_back(block);
+      orphans_.flush(tree_, accepted);
+      break;
+    case BlockTree::AddResult::Orphan:
+      // Parent not yet known: buffer (deduplicated) and retry when ancestors
+      // arrive; re-delivery cannot grow the buffer.
+      orphans_.buffer(block);
+      break;
+    case BlockTree::AddResult::Duplicate:  // already in the view
+    case BlockTree::AddResult::Invalid:    // can never become valid: drop
+      break;
   }
 }
 

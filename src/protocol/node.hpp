@@ -16,8 +16,12 @@ class HonestNode {
 
   /// Validates issuance against the schedule (the "signature check") and adds
   /// the block to the local view. Blocks whose parents are unknown are
-  /// buffered and retried (the adversary may deliver out of order).
-  void receive(const Block& block);
+  /// buffered (deduplicated) and retried when an ancestor arrives; blocks the
+  /// tree reports permanently invalid are dropped, never buffered. Every
+  /// block newly admitted to the view — the delivered one and any orphans it
+  /// unblocked, in acceptance order (parents first) — is appended to
+  /// `*accepted` when non-null, so callers can mirror the node's view.
+  void receive(const Block& block, std::vector<Block>* accepted = nullptr);
 
   /// Current longest-chain head under this node's tie-break rule.
   [[nodiscard]] BlockHash best_head() const;
@@ -27,15 +31,15 @@ class HonestNode {
   [[nodiscard]] Block forge(std::size_t slot, std::uint64_t payload) const;
 
   [[nodiscard]] const BlockTree& tree() const noexcept { return tree_; }
+  /// Parent-unknown blocks currently waiting for their ancestry.
+  [[nodiscard]] std::size_t buffered_orphans() const noexcept { return orphans_.size(); }
 
  private:
   PartyId id_;
   TieBreak rule_;
   const LeaderSchedule* schedule_;
   BlockTree tree_;
-  std::vector<Block> orphans_;
-
-  void flush_orphans();
+  OrphanBuffer orphans_;
 };
 
 }  // namespace mh

@@ -32,12 +32,35 @@ void Simulation::run_until(std::size_t slot) {
   check_watches(next_slot_);
 }
 
+void Simulation::public_add(const Block& block) {
+  switch (public_tree_.try_add(block)) {
+    case BlockTree::AddResult::Added:
+      public_orphans_.flush(public_tree_, nullptr);
+      break;
+    case BlockTree::AddResult::Orphan:
+      // Unreachable while mirroring is synchronous and per-node acceptance is
+      // parent-first, but the public tree must never silently lose a block
+      // again: buffer and retry on progress instead of dropping.
+      public_orphans_.buffer(block);
+      break;
+    case BlockTree::AddResult::Duplicate:
+    case BlockTree::AddResult::Invalid:
+      break;
+  }
+}
+
 void Simulation::deliver_due(std::size_t slot) {
-  for (HonestNode& node : nodes_)
-    for (const Block& b : network_.collect(node.id(), slot)) {
-      node.receive(b);
-      if (node.tree().contains(b.hash)) public_tree_.add(b);
+  for (HonestNode& node : nodes_) {
+    network_.collect_into(node.id(), slot, &delivery_scratch_);
+    for (const Block& b : delivery_scratch_) {
+      accepted_scratch_.clear();
+      node.receive(b, &accepted_scratch_);
+      // Every block the node admitted — including orphans unblocked by this
+      // delivery — joins the public tree (the seed dropped flushed orphans,
+      // hiding real public-fork disagreements).
+      for (const Block& a : accepted_scratch_) public_add(a);
     }
+  }
 }
 
 void Simulation::step() {
@@ -72,22 +95,21 @@ void Simulation::step() {
     forged.push_back(make_block(parent, t, leader, rng_()));
   }
 
-  // 4. Broadcast with adversary-chosen delays; record; leaders adopt their
-  //    own blocks immediately. Honest participants broadcast *chains* (the
-  //    model's messages are blockchains), so the ancestry ships along: the
-  //    adversary cannot orphan an honest block at a recipient by having
-  //    disclosed the parent only selectively.
+  // 4. Broadcast; record; leaders adopt their own blocks immediately. Honest
+  //    participants broadcast *chains* (the model's messages are blockchains),
+  //    so the ancestry ships along: the adversary cannot orphan an honest
+  //    block at a recipient by having disclosed the parent only selectively.
+  //    The chain-synced transport ships each recipient only what it has not
+  //    already been scheduled to receive by the block's due slot.
   for (const Block& block : forged) {
     global_tree_.add(block);
-    public_tree_.add(block);
     all_blocks_.push_back(block);
-    nodes_[block.issuer].receive(block);
+    accepted_scratch_.clear();
+    nodes_[block.issuer].receive(block, &accepted_scratch_);
+    for (const Block& a : accepted_scratch_) public_add(a);
     std::vector<std::size_t> delays;
     if (adversary_) delays = adversary_->delivery_delays(block, t, *this);
-    for (BlockHash h : global_tree_.chain(block.parent))
-      if (h != genesis_block().hash)
-        network_.broadcast(global_tree_.block(h), t, delays);
-    network_.broadcast(block, t, delays);
+    network_.broadcast_chain(global_tree_, block, t, delays);
   }
 }
 
@@ -103,17 +125,18 @@ Block Simulation::mint_adversarial(BlockHash parent, std::size_t slot, std::uint
 
 bool Simulation::observed_settlement_violation(std::size_t s) const {
   const std::vector<BlockHash> heads = public_tree_.max_length_heads();
+  // What each maximal public chain says about slot s: its block labelled
+  // exactly s, or "the chain skips s" (nullopt). Any mismatch between two
+  // maximal chains is a settlement disagreement an observer could be shown.
+  std::vector<std::optional<BlockHash>> exact_at(heads.size());
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    const auto deepest = public_tree_.block_at_slot(heads[i], s);
+    if (deepest && public_tree_.block(*deepest).slot == s) exact_at[i] = deepest;
+  }
   for (std::size_t a = 0; a < heads.size(); ++a)
     for (std::size_t b = a + 1; b < heads.size(); ++b) {
-      const auto exact_at = [&](BlockHash head) -> std::optional<BlockHash> {
-        const auto deepest = public_tree_.block_at_slot(head, s);
-        if (deepest && public_tree_.block(*deepest).slot == s) return deepest;
-        return std::nullopt;
-      };
-      const auto sa = exact_at(heads[a]);
-      const auto sb = exact_at(heads[b]);
-      if (!sa && !sb) continue;  // both chains skip slot s: no disagreement
-      if (sa != sb) return true;
+      if (!exact_at[a] && !exact_at[b]) continue;  // both skip slot s
+      if (exact_at[a] != exact_at[b]) return true;
     }
   return false;
 }
@@ -159,12 +182,22 @@ void Simulation::check_watches(std::size_t onset_slot) {
   }
 }
 
+std::vector<BlockHash> Simulation::distinct_best_heads() const {
+  std::vector<BlockHash> heads;
+  heads.reserve(nodes_.size());
+  for (const HonestNode& node : nodes_) heads.push_back(node.best_head());
+  std::sort(heads.begin(), heads.end());
+  heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
+  return heads;
+}
+
 std::size_t Simulation::observed_slot_divergence() const {
+  // Divergence depends only on the adopted head pair, so pairs of DISTINCT
+  // heads suffice (equal heads contribute 0).
+  const std::vector<BlockHash> heads = distinct_best_heads();
   std::size_t best = 0;
-  for (const HonestNode& n1 : nodes_)
-    for (const HonestNode& n2 : nodes_) {
-      const BlockHash h1 = n1.best_head();
-      const BlockHash h2 = n2.best_head();
+  for (const BlockHash h1 : heads)
+    for (const BlockHash h2 : heads) {
       const std::uint64_t l1 = global_tree_.block(h1).slot;
       if (l1 > global_tree_.block(h2).slot) continue;
       const BlockHash meet = global_tree_.common_ancestor(h1, h2);
@@ -174,10 +207,9 @@ std::size_t Simulation::observed_slot_divergence() const {
 }
 
 bool Simulation::observed_cp_slot_violation(std::size_t k) const {
-  for (const HonestNode& n1 : nodes_)
-    for (const HonestNode& n2 : nodes_) {
-      const BlockHash h1 = n1.best_head();
-      const BlockHash h2 = n2.best_head();
+  const std::vector<BlockHash> heads = distinct_best_heads();
+  for (const BlockHash h1 : heads)
+    for (const BlockHash h2 : heads) {
       const std::uint64_t l1 = global_tree_.block(h1).slot;
       if (l1 > global_tree_.block(h2).slot) continue;
       if (l1 < k) continue;
@@ -185,9 +217,8 @@ bool Simulation::observed_cp_slot_violation(std::size_t k) const {
       // The trimmed chain h1-floor-k ends at the deepest block of slot
       // <= l1 - k; it is a prefix of h2 iff the meet lies at or below it.
       const std::uint64_t cutoff = l1 - k;
-      BlockHash trimmed = h1;
-      while (trimmed != genesis_block().hash && global_tree_.block(trimmed).slot > cutoff)
-        trimmed = global_tree_.block(trimmed).parent;
+      const auto trimmed_block = global_tree_.block_at_slot(h1, cutoff);
+      const BlockHash trimmed = trimmed_block ? *trimmed_block : genesis_block().hash;
       const std::uint64_t meet_slot = global_tree_.block(meet).slot;
       if (meet_slot < global_tree_.block(trimmed).slot) return true;
     }

@@ -10,6 +10,9 @@
 //      (axiom A0); under ConsistentHash the minimal head hash wins (A0');
 //   4. honest blocks are broadcast; the adversary picks per-recipient delays
 //      in [0, Delta] and observes the new blocks immediately.
+//
+// Per-slot cost is proportional to the slot's NEW blocks (chain-synced
+// bucketed transport + incremental BlockTree), not to chain history.
 #pragma once
 
 #include <memory>
@@ -72,6 +75,10 @@ class Simulation {
   [[nodiscard]] const BlockTree& global_tree() const noexcept { return global_tree_; }
   [[nodiscard]] const std::vector<Block>& all_blocks() const noexcept { return all_blocks_; }
 
+  /// The public view: every block accepted by at least one honest node,
+  /// whether on first delivery or later via an orphan flush.
+  [[nodiscard]] const BlockTree& public_tree() const noexcept { return public_tree_; }
+
   // --- consistency measurements -------------------------------------------
 
   /// Definition 3 on the *public* fork (all blocks delivered to at least one
@@ -98,6 +105,11 @@ class Simulation {
   void step();
   void deliver_due(std::size_t slot);
   void check_watches(std::size_t onset_slot);
+  /// Mirror a node-accepted block into the public tree; out-of-order arrivals
+  /// are buffered and flushed like a node's own orphan set.
+  void public_add(const Block& block);
+  /// The distinct best heads currently adopted across the honest nodes.
+  [[nodiscard]] std::vector<BlockHash> distinct_best_heads() const;
   /// The slot-s prefix (deepest block with slot <= s) of the chain at `head`.
   [[nodiscard]] BlockHash prefix_at(BlockHash head, std::size_t s) const;
 
@@ -115,9 +127,12 @@ class Simulation {
   Adversary* adversary_;  // may be null
   std::vector<HonestNode> nodes_;
   BlockTree global_tree_;
-  BlockTree public_tree_;  ///< blocks delivered to at least one honest node
+  BlockTree public_tree_;  ///< blocks accepted by at least one honest node
+  OrphanBuffer public_orphans_;
   std::vector<Block> all_blocks_;
   std::vector<Watch> watches_;
+  std::vector<Block> delivery_scratch_;  ///< collect_into reuse
+  std::vector<Block> accepted_scratch_;  ///< receive-accepted reuse
   Rng rng_;
   std::size_t next_slot_ = 1;
 };

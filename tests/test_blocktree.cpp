@@ -92,5 +92,114 @@ TEST(BlockTree, UnknownBlockThrows) {
   EXPECT_THROW(static_cast<void>(tree.block(12345)), std::invalid_argument);
 }
 
+TEST(BlockTree, TryAddDistinguishesOrphanFromInvalid) {
+  BlockTree tree;
+  const Block good = make_block(genesis_block().hash, 1, 0, 0);
+  EXPECT_EQ(tree.try_add(good), BlockTree::AddResult::Added);
+  EXPECT_EQ(tree.try_add(good), BlockTree::AddResult::Duplicate);
+
+  // Parent unknown: retriable, NOT invalid — it may arrive later.
+  const Block orphan = make_block(0xdeadbeef, 2, 0, 0);
+  EXPECT_EQ(tree.try_add(orphan), BlockTree::AddResult::Orphan);
+
+  // Tampered header / non-increasing slot: permanently invalid.
+  Block tampered = make_block(good.hash, 2, 0, 0);
+  tampered.payload = 99;
+  EXPECT_EQ(tree.try_add(tampered), BlockTree::AddResult::Invalid);
+  const Block stale = make_block(good.hash, 1, 0, 0);
+  EXPECT_EQ(tree.try_add(stale), BlockTree::AddResult::Invalid);
+}
+
+TEST(BlockTree, AdversarialOrderIsFirstArrivalSemantics) {
+  // Pin of the intended axiom-A0 rule: among tied maximum-length heads the
+  // FIRST-arrived wins (the adversary orders deliveries, so "first" is its
+  // lever). The seed carried a dead "later arrival wins" comparison branch;
+  // this test pins the simplification.
+  BlockTree tree;
+  const Block a = make_block(genesis_block().hash, 1, 0, 1);
+  const Block b = make_block(genesis_block().hash, 2, 1, 2);
+  tree.add(a);
+  tree.add(b);
+  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), a.hash);
+
+  // A strictly longer chain resets the tie set: its tip is now first arrival.
+  const Block c = make_block(b.hash, 3, 0, 3);
+  tree.add(c);
+  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), c.hash);
+
+  // A later equal-length head joins the tie set but does not displace c.
+  const Block d = make_block(a.hash, 4, 1, 4);
+  tree.add(d);
+  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), c.hash);
+  const auto heads = tree.max_length_heads();
+  ASSERT_EQ(heads.size(), 2u);
+  EXPECT_EQ(heads[0], c.hash);
+  EXPECT_EQ(heads[1], d.hash);
+  EXPECT_EQ(tree.best_head(TieBreak::ConsistentHash), std::min(c.hash, d.hash));
+}
+
+TEST(BlockTree, AncestorAtLength) {
+  BlockTree tree;
+  const auto chain = fixtures::grow_chain(tree, genesis_block().hash, {1, 2, 5, 9});
+  EXPECT_EQ(tree.ancestor_at_length(chain.back().hash, 0), genesis_block().hash);
+  for (std::size_t len = 1; len <= chain.size(); ++len)
+    EXPECT_EQ(tree.ancestor_at_length(chain.back().hash, len), chain[len - 1].hash);
+  EXPECT_THROW(static_cast<void>(tree.ancestor_at_length(chain.front().hash, 2)),
+               std::invalid_argument);
+}
+
+TEST(BlockTree, LiftedQueriesMatchNaiveWalks) {
+  // Differential fuzz of the binary-lifting paths against parent-walk
+  // references on a random tree mixing long chains and wide forks.
+  Rng rng(0xb10c);
+  BlockTree tree;
+  std::vector<Block> blocks{genesis_block()};
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    // Bias towards recent parents so chains get deep; sometimes fork wide.
+    const std::size_t pick = rng.bernoulli(0.7) ? blocks.size() - 1 : rng.below(blocks.size());
+    const Block& parent = blocks[pick];
+    const Block b = make_block(parent.hash, parent.slot + 1 + rng.below(3), 0, i);
+    ASSERT_EQ(tree.try_add(b), BlockTree::AddResult::Added);
+    blocks.push_back(b);
+  }
+
+  const auto naive_chain_up = [&](BlockHash h) {
+    std::vector<BlockHash> up{h};
+    while (up.back() != genesis_block().hash) up.push_back(tree.block(up.back()).parent);
+    return up;
+  };
+  const auto naive_meet = [&](BlockHash a, BlockHash b) {
+    std::vector<BlockHash> ua = naive_chain_up(a);
+    std::vector<BlockHash> ub = naive_chain_up(b);
+    while (ua.size() > ub.size()) ua.erase(ua.begin());
+    while (ub.size() > ua.size()) ub.erase(ub.begin());
+    for (std::size_t i = 0; i < ua.size(); ++i)
+      if (ua[i] == ub[i]) return ua[i];
+    return genesis_block().hash;
+  };
+  const auto naive_at_slot = [&](BlockHash head, std::uint64_t s) -> std::optional<BlockHash> {
+    for (BlockHash h = head; h != genesis_block().hash; h = tree.block(h).parent)
+      if (tree.block(h).slot <= s) return h;
+    return std::nullopt;
+  };
+
+  for (int trial = 0; trial < 300; ++trial) {
+    const Block& x = blocks[rng.below(blocks.size())];
+    const Block& y = blocks[rng.below(blocks.size())];
+    EXPECT_EQ(tree.common_ancestor(x.hash, y.hash), naive_meet(x.hash, y.hash));
+    const std::uint64_t s = rng.below(x.slot + 2);
+    EXPECT_EQ(tree.block_at_slot(x.hash, s), naive_at_slot(x.hash, s));
+    const std::size_t len = rng.below(tree.length(x.hash) + 1);
+    const std::vector<BlockHash> up = naive_chain_up(x.hash);
+    EXPECT_EQ(tree.ancestor_at_length(x.hash, len), up[up.size() - 1 - len]);
+  }
+
+  // The incremental head set matches a from-scratch arrival-order scan.
+  std::vector<BlockHash> scan;
+  for (BlockHash h : tree.arrival_order())
+    if (tree.length(h) == tree.best_length()) scan.push_back(h);
+  EXPECT_EQ(tree.max_length_heads(), scan);
+}
+
 }  // namespace
 }  // namespace mh

@@ -74,6 +74,66 @@ TEST(Node, ForgeRequiresLeadership) {
   EXPECT_THROW(static_cast<void>(node.forge(1, 0)), std::invalid_argument);
 }
 
+TEST(Node, OrphanBufferDedupesAdversarialRedelivery) {
+  // The rushing adversary may re-deliver the same parentless block every
+  // slot; the buffer must not grow with redeliveries.
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(1, TieBreak::ConsistentHash, &schedule);
+  const Block parent = make_block(genesis_block().hash, 1, 0, 0);
+  const Block child = make_block(parent.hash, 2, 1, 0);
+  for (int i = 0; i < 64; ++i) node.receive(child);
+  EXPECT_EQ(node.buffered_orphans(), 1u);
+  node.receive(parent);
+  EXPECT_EQ(node.buffered_orphans(), 0u);
+  EXPECT_TRUE(node.tree().contains(child.hash));
+  // Re-delivery after acceptance is a duplicate, not a fresh orphan.
+  node.receive(child);
+  EXPECT_EQ(node.buffered_orphans(), 0u);
+}
+
+TEST(Node, PermanentlyInvalidOrphansAreDroppedOnFlush) {
+  // A buffered block whose parent finally arrives but whose slot label does
+  // not increase can never become valid; the seed retried it forever.
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(0, TieBreak::ConsistentHash, &schedule);
+  const Block a = make_block(genesis_block().hash, 1, 0, 0);
+  node.receive(a);
+  const Block parent = make_block(a.hash, 3, kAdversary, 7);
+  const Block same_slot_child = make_block(parent.hash, 3, kAdversary, 8);
+  node.receive(same_slot_child);  // parent unknown: buffered
+  EXPECT_EQ(node.buffered_orphans(), 1u);
+  node.receive(parent);  // parent lands; the child is now provably invalid
+  EXPECT_TRUE(node.tree().contains(parent.hash));
+  EXPECT_FALSE(node.tree().contains(same_slot_child.hash));
+  EXPECT_EQ(node.buffered_orphans(), 0u);
+}
+
+TEST(Node, InvalidBlocksAreNeverBuffered) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(0, TieBreak::ConsistentHash, &schedule);
+  const Block a = make_block(genesis_block().hash, 1, 0, 0);
+  node.receive(a);
+  // Known parent, non-increasing slot: dropped outright.
+  const Block stale = make_block(a.hash, 1, 0, 9);
+  node.receive(stale);
+  EXPECT_EQ(node.buffered_orphans(), 0u);
+  EXPECT_FALSE(node.tree().contains(stale.hash));
+}
+
+TEST(Node, ReceiveReportsAcceptedBlocksInAcceptanceOrder) {
+  const LeaderSchedule schedule = fixed_schedule();
+  HonestNode node(1, TieBreak::ConsistentHash, &schedule);
+  const Block parent = make_block(genesis_block().hash, 1, 0, 0);
+  const Block child = make_block(parent.hash, 2, 1, 0);
+  std::vector<Block> accepted;
+  node.receive(child, &accepted);
+  EXPECT_TRUE(accepted.empty());  // buffered, not accepted
+  node.receive(parent, &accepted);
+  ASSERT_EQ(accepted.size(), 2u);  // parent first, then the unblocked orphan
+  EXPECT_EQ(accepted[0].hash, parent.hash);
+  EXPECT_EQ(accepted[1].hash, child.hash);
+}
+
 TEST(Node, ConsistentTieBreakPicksMinHash) {
   const LeaderSchedule schedule = fixed_schedule();
   HonestNode node(0, TieBreak::ConsistentHash, &schedule);

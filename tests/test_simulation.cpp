@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "chars/bernoulli.hpp"
+#include "oracle/characteristic.hpp"
+#include "protocol/adversary.hpp"
 
 namespace mh {
 namespace {
@@ -76,6 +80,129 @@ TEST(Simulation, MintRequiresAdversarialSlot) {
   // Minted blocks are private until injected.
   for (const HonestNode& node : sim.nodes())
     EXPECT_FALSE(node.tree().contains(minted.hash));
+}
+
+// Mints a private two-block chain and injects it to party 0 child-first
+// within one slot, so the child is accepted only via the orphan flush.
+class ChildFirstInjector : public Adversary {
+ public:
+  void on_slot_begin(std::size_t slot, Simulation& sim) override {
+    if (slot != 4 || done_) return;
+    done_ = true;
+    m1 = sim.mint_adversarial(genesis_block().hash, 2, 1);
+    m2 = sim.mint_adversarial(m1.hash, 3, 2);
+    sim.network().inject(m2, 0, 4);  // child first: orphaned on arrival
+    sim.network().inject(m1, 0, 4);
+  }
+  Block m1, m2;
+
+ private:
+  bool done_ = false;
+};
+
+TEST(Simulation, PublicTreeSeesOrphansAcceptedOutOfOrder) {
+  // Regression for the headline seed bug: deliver_due mirrored a block into
+  // the public tree only when the node accepted it on FIRST receive, so a
+  // block admitted later by the orphan flush was silently lost and the
+  // resulting maximal-chain disagreement invisible to
+  // observed_settlement_violation.
+  std::vector<SlotLeaders> slots(5);
+  slots[0].honest = {0};     // A at slot 1
+  slots[1].adversarial = true;
+  slots[2].adversarial = true;
+  slots[3].honest = {1};     // B on A at slot 4
+  const LeaderSchedule schedule(std::move(slots), 2);
+  ChildFirstInjector adversary;
+  Simulation sim(schedule, SimulationConfig{TieBreak::AdversarialOrder, 5}, 0, &adversary);
+  sim.run();
+
+  // Party 0 accepted the whole private chain (the child via flush)...
+  EXPECT_TRUE(sim.nodes()[0].tree().contains(adversary.m1.hash));
+  EXPECT_TRUE(sim.nodes()[0].tree().contains(adversary.m2.hash));
+  // ...so the public tree must hold it too,
+  EXPECT_TRUE(sim.public_tree().contains(adversary.m2.hash));
+  // and the two tied maximal public chains disagree about slot 1: the honest
+  // chain settles A there, the injected chain skips it.
+  EXPECT_EQ(sim.public_tree().max_length_heads().size(), 2u);
+  EXPECT_TRUE(sim.observed_settlement_violation(1));
+}
+
+// Holds back the slot-2 block from party 1 by one extra slot, so party 1
+// forges its slot-3 block on the slot-1 chain: two tied maximal chains, one
+// holding a block at slot 2, the other skipping slot 2.
+class HoldBackSlot2 : public Adversary {
+ public:
+  std::vector<std::size_t> delivery_delays(const Block& block, std::size_t,
+                                           Simulation& sim) override {
+    std::vector<std::size_t> delays(sim.nodes().size(), 0);
+    if (block.slot == 2) delays[1] = 1;
+    return delays;
+  }
+};
+
+TEST(Simulation, SlotSkippingVerdictMatchesOracleProjection) {
+  // One maximal chain holds a block at slot s = 2, the other skips s but
+  // agrees on the slot-1 prefix: Definition 3 counts that as a settlement
+  // disagreement about s (an observer handed either chain settles different
+  // content), and the analytic side — the Definition-22 projection of the
+  // same schedule — must allow what the execution exhibited.
+  std::vector<SlotLeaders> slots(3);
+  slots[0].honest = {0};  // A
+  slots[1].honest = {0};  // B on A, held back from party 1
+  slots[2].honest = {1};  // E on A (party 1 has not seen B yet)
+  const LeaderSchedule schedule(std::move(slots), 2);
+  HoldBackSlot2 adversary;
+  const std::size_t delta = 1;
+  Simulation sim(schedule, SimulationConfig{TieBreak::AdversarialOrder, 9}, delta,
+                 &adversary);
+  sim.run();
+
+  const std::vector<BlockHash> heads = sim.public_tree().max_length_heads();
+  ASSERT_EQ(heads.size(), 2u);
+  // One head's chain has a block labelled exactly 2, the other skips slot 2.
+  const auto exact_at_2 = [&](BlockHash head) {
+    const auto deepest = sim.public_tree().block_at_slot(head, 2);
+    return deepest && sim.public_tree().block(*deepest).slot == 2;
+  };
+  EXPECT_NE(exact_at_2(heads[0]), exact_at_2(heads[1]));
+  // Both agree on the slot-1 prefix, so slot 1 is NOT in dispute...
+  EXPECT_FALSE(sim.observed_settlement_violation(1));
+  // ...but slot 2 is.
+  EXPECT_TRUE(sim.observed_settlement_violation(2));
+
+  // The oracle's Definition-22 projection of the same execution must agree
+  // that a slot-2 violation is analytically permitted (domination): the
+  // Delta-reduction turns the delayed h-run into an effective tie.
+  const oracle::AnalyticProjection view = oracle::project_schedule(schedule, delta, 2);
+  EXPECT_TRUE(oracle::margin_allows_violation(view) ||
+              oracle::prefix_admits_distinct_balance(view));
+}
+
+TEST(Simulation, PublicTreeIsExactlyTheUnionOfNodeViews) {
+  // Under a randomized adversary (delays, partial leaks, reordering), the
+  // public tree must at all times equal the union of honest views: every
+  // node-accepted block is public (the seed lost flushed orphans here) and
+  // nothing else is.
+  const SymbolLaw law{0.4, 0.25, 0.35};
+  for (const std::uint64_t seed : {11u, 12u, 13u, 14u}) {
+    Rng rng(seed);
+    const LeaderSchedule schedule = LeaderSchedule::from_symbol_law(law, 60, 4, rng);
+    RandomizedAdversary adversary(seed);
+    Simulation sim(schedule, SimulationConfig{TieBreak::AdversarialOrder, rng()}, 2,
+                   &adversary);
+    sim.run();
+    std::size_t union_count = 0;
+    std::vector<BlockHash> seen;
+    for (const HonestNode& node : sim.nodes())
+      for (const BlockHash h : node.tree().arrival_order()) {
+        EXPECT_TRUE(sim.public_tree().contains(h)) << "lost node-accepted block, seed " << seed;
+        if (std::find(seen.begin(), seen.end(), h) == seen.end()) {
+          seen.push_back(h);
+          ++union_count;
+        }
+      }
+    EXPECT_EQ(sim.public_tree().block_count(), union_count) << "seed " << seed;
+  }
 }
 
 TEST(Simulation, RunUntilIsIncremental) {
