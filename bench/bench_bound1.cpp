@@ -8,6 +8,8 @@
 // looser certificate).
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -85,9 +87,6 @@ BENCHMARK(BM_CatalanFlagsLinear)->Arg(1024)->Arg(65536);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  bound1_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "bound1",
+                             [] { bound1_report(); return true; });
 }

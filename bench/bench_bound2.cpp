@@ -5,6 +5,8 @@
 // strings and reports the e^{-eps^3 k / 2}-flavored asymptotic rate.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 #include <vector>
 
@@ -60,9 +62,6 @@ BENCHMARK(BM_ConsecutiveGF)->Arg(256)->Arg(1024)->Arg(4096);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  bound2_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "bound2",
+                             [] { bound2_report(); return true; });
 }

@@ -5,6 +5,8 @@
 // and the observed CP behaviour of canonical-fork executions.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "core/astar.hpp"
@@ -69,9 +71,6 @@ BENCHMARK(BM_SlotDivergence);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  cp_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "cp",
+                             [] { cp_report(); return true; });
 }

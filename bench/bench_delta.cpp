@@ -8,6 +8,8 @@
 // prefactor and collapses exponentially in k while condition (20) holds.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "delta/delta_settlement.hpp"
@@ -68,9 +70,6 @@ BENCHMARK(BM_Theorem7Bound);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  delta_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "delta",
+                             [] { delta_sweep(); return true; });
 }

@@ -5,6 +5,8 @@
 // the fork primitives the whole analysis rests on.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "chars/bernoulli.hpp"
@@ -101,8 +103,7 @@ BENCHMARK(BM_StructuralMarginBruteforce)->Arg(64)->Arg(256);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figure1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "fig1_fork",
+                             [] { print_figure1(); return true; },
+                             {.thread_banner = false});
 }

@@ -8,6 +8,8 @@
 // margin (who wins: the adversary exactly when the recurrence is >= 0).
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "chars/bernoulli.hpp"
@@ -92,9 +94,7 @@ BENCHMARK(BM_BalancedExtension)->Arg(32)->Arg(128)->Arg(512);
 }  // namespace
 
 int main(int argc, char** argv) {
-  print_figures();
-  fact6_sweep();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "fig23_balanced",
+                             [] { print_figures(); fact6_sweep(); return true; },
+                             {.thread_banner = false});
 }

@@ -4,6 +4,8 @@
 // benchmarks the adversary's throughput as a function of the string length.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "chars/bernoulli.hpp"
@@ -72,8 +74,7 @@ BENCHMARK(BM_MarginRecurrenceStream)->Arg(1024)->Arg(65536);
 }  // namespace
 
 int main(int argc, char** argv) {
-  canonicity_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "fig4_astar",
+                             [] { canonicity_report(); return true; },
+                             {.thread_banner = false});
 }

@@ -8,6 +8,8 @@
 // reports the certified error and the implied maximal tolerable pA.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "core/exact_dp.hpp"
@@ -106,9 +108,7 @@ BENCHMARK(BM_AblationCell);
 }  // namespace
 
 int main(int argc, char** argv) {
-  ablation_table();
-  max_tolerable_adversary();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "h_ablation",
+                             [] { ablation_table(); max_tolerable_adversary(); return true; },
+                             {.thread_banner = false});
 }

@@ -7,6 +7,8 @@
 // All three must agree within Monte-Carlo confidence intervals.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -151,10 +153,7 @@ void engine_speedup_report() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  cross_validation();
-  game_value_table();
-  engine_speedup_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "mc_vs_exact",
+                             [] { cross_validation(); game_value_table(); engine_speedup_report(); return true; },
+                             {.thread_banner = false});
 }

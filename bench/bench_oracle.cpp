@@ -10,6 +10,8 @@
 // the cells), producing BENCH_oracle.json in CI.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -124,9 +126,8 @@ BENCHMARK(BM_OracleExecution)->Arg(0)->Arg(2)->Unit(benchmark::kMicrosecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  const bool clean = print_matrix_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return clean && !g_matrix_dirty ? 0 : 1;  // a dirty matrix fails the CI bench job
+  mh::bench::MainOptions options;
+  // A dirty matrix anywhere (report or timed iterations) fails the CI bench job.
+  options.post_run_clean = [] { return !g_matrix_dirty; };
+  return mh::bench::run_main(argc, argv, "oracle", print_matrix_report, options);
 }

@@ -6,6 +6,8 @@
 // A0 and collapses under A0'.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "core/exact_dp.hpp"
@@ -79,9 +81,6 @@ BENCHMARK(BM_SimulationSlotLoop)->Arg(100)->Arg(400)->Arg(1600);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  attack_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "protocol",
+                             [] { attack_report(); return true; });
 }

@@ -8,94 +8,39 @@
 //
 // The report fans the (parties x horizon) sweep across engine::for_each_index
 // (MH_THREADS) and prints blocks, wall-clock, and slots/s per cell. Before
-// timing anything it verifies two golden seed pins — digests of a fixed
-// balance-attack execution and a fixed randomized-adversary execution (the
-// latter covers Delta-delays, partial leaks, and orphan flushes). Any
-// transport or tree refactor that shifts delivery order, acceptance order, or
-// the public view trips the pins and the process exits non-zero, failing the
-// CI bench job.
+// timing anything it verifies the two golden seed pins from
+// protocol/transport_probe.hpp — digests of a fixed balance-attack execution
+// and a fixed randomized-adversary execution (the latter covers Delta-delays,
+// partial leaks, and orphan flushes). Any transport or tree refactor that
+// shifts delivery order, acceptance order, or the public view trips the pins
+// and the process exits non-zero, failing the CI bench job.
 #include <benchmark/benchmark.h>
 
-#include <chrono>
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
-#include "chars/bernoulli.hpp"
 #include "engine/seed_sequence.hpp"
 #include "engine/thread_pool.hpp"
-#include "protocol/adversary.hpp"
+#include "protocol/transport_probe.hpp"
 #include "support/table.hpp"
 
 namespace {
 
-constexpr mh::SymbolLaw kScaleLaw{0.4, 0.25, 0.35};
-
-struct CellOutcome {
-  std::size_t parties = 0;
-  std::size_t horizon = 0;
-  std::size_t blocks = 0;
-  std::size_t divergence = 0;
-  double seconds = 0.0;
-  std::uint64_t digest = 0;
-};
-
-/// One seeded execution; the digest folds every order-sensitive observable:
-/// creation order, public-tree acceptance order, per-node adopted heads.
-template <typename MakeAdversary>
-CellOutcome run_cell(std::size_t parties, std::size_t horizon, std::uint64_t seed,
-                     std::size_t delta, MakeAdversary&& make_adversary) {
-  mh::Rng rng(seed);
-  const mh::LeaderSchedule schedule =
-      mh::LeaderSchedule::from_symbol_law(kScaleLaw, horizon, parties, rng);
-  auto adversary = make_adversary(rng());
-  mh::Simulation sim(schedule,
-                     mh::SimulationConfig{mh::TieBreak::AdversarialOrder, rng()}, delta,
-                     adversary.get());
-  const auto start = std::chrono::steady_clock::now();
-  sim.run();
-  CellOutcome out;
-  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  out.parties = parties;
-  out.horizon = horizon;
-  out.blocks = sim.all_blocks().size();
-  out.divergence = sim.observed_slot_divergence();
-  std::uint64_t digest = mh::kFnvOffsetBasis;
-  for (const mh::Block& b : sim.all_blocks()) digest = mh::fnv1a_accumulate(digest, b.hash);
-  for (const mh::BlockHash h : sim.public_tree().arrival_order())
-    digest = mh::fnv1a_accumulate(digest, h);
-  for (const mh::HonestNode& node : sim.nodes())
-    digest = mh::fnv1a_accumulate(digest, node.best_head());
-  out.digest = mh::fnv1a_accumulate(digest, out.divergence);
-  return out;
-}
-
-CellOutcome run_balance_cell(std::size_t parties, std::size_t horizon, std::uint64_t seed) {
-  return run_cell(parties, horizon, seed, 0, [](std::uint64_t) {
-    return std::make_unique<mh::BalanceAttacker>();
-  });
-}
-
-// The golden transport pins: regenerate ONLY for an intentional semantic
-// change (and say so in the commit). Values are thread-count independent
-// (each execution is serial and purely seed-driven).
-constexpr std::uint64_t kBalancePinSeed = 4242;
-constexpr std::uint64_t kBalancePinDigest = 0xedb5caf17ab2f6d6ULL;
-constexpr std::uint64_t kRandomizedPinSeed = 1717;
-constexpr std::uint64_t kRandomizedPinDigest = 0x392faa91452afe13ULL;
-
 bool check_seed_pins() {
-  const CellOutcome balance = run_balance_cell(8, 512, kBalancePinSeed);
-  const CellOutcome randomized =
-      run_cell(6, 256, kRandomizedPinSeed, 2, [](std::uint64_t seed) {
-        return std::make_unique<mh::RandomizedAdversary>(seed);
-      });
-  const bool ok = balance.digest == kBalancePinDigest &&
-                  randomized.digest == kRandomizedPinDigest;
+  const mh::TransportProbeOutcome balance = mh::balance_transport_probe(
+      mh::kBalanceProbePinParties, mh::kBalanceProbePinHorizon, mh::kBalanceProbePinSeed);
+  const mh::TransportProbeOutcome randomized = mh::randomized_transport_probe(
+      mh::kRandomizedProbePinParties, mh::kRandomizedProbePinHorizon,
+      mh::kRandomizedProbePinSeed, mh::kRandomizedProbePinDelta);
+  const bool ok = balance.digest == mh::kBalanceProbePinDigest &&
+                  randomized.digest == mh::kRandomizedProbePinDigest;
   std::printf("seed pins: balance 0x%016llx (want 0x%016llx), randomized 0x%016llx "
               "(want 0x%016llx) -> %s\n\n",
               static_cast<unsigned long long>(balance.digest),
-              static_cast<unsigned long long>(kBalancePinDigest),
+              static_cast<unsigned long long>(mh::kBalanceProbePinDigest),
               static_cast<unsigned long long>(randomized.digest),
-              static_cast<unsigned long long>(kRandomizedPinDigest),
+              static_cast<unsigned long long>(mh::kRandomizedProbePinDigest),
               ok ? "ok" : "DRIFT");
   return ok;
 }
@@ -112,16 +57,17 @@ void sweep_report() {
       {16, 10000}, {64, 10000}, {256, 2500}, {1024, 1000},
   };
   constexpr std::size_t n = sizeof(cells) / sizeof(cells[0]);
-  std::vector<CellOutcome> outcomes(n);
+  std::vector<mh::TransportProbeOutcome> outcomes(n);
   const mh::engine::SeedSequence seeds(97);
   mh::engine::for_each_index(n, mh::engine::threads_from_env(), [&](std::size_t i) {
-    outcomes[i] = run_balance_cell(cells[i].parties, cells[i].horizon, seeds.derive(i));
+    outcomes[i] =
+        mh::balance_transport_probe(cells[i].parties, cells[i].horizon, seeds.derive(i));
   });
 
   std::printf("Protocol transport scale sweep (balance attack, law "
               "(ph,pH,pA)=(.40,.25,.35), Delta=0)\n\n");
   mh::TextTable table({"parties", "horizon", "blocks", "wall [s]", "slots/s", "divergence"});
-  for (const CellOutcome& out : outcomes)
+  for (const mh::TransportProbeOutcome& out : outcomes)
     table.add_row({std::to_string(out.parties), std::to_string(out.horizon),
                    std::to_string(out.blocks), mh::fixed(out.seconds, 3),
                    std::to_string(static_cast<std::size_t>(
@@ -138,7 +84,8 @@ void BM_ProtocolScale(benchmark::State& state) {
   const auto horizon = static_cast<std::size_t>(state.range(1));
   std::uint64_t seed = 1861;
   for (auto _ : state) {
-    const CellOutcome out = run_balance_cell(parties, horizon, seed++);
+    const mh::TransportProbeOutcome out =
+        mh::balance_transport_probe(parties, horizon, seed++);
     benchmark::DoNotOptimize(out.digest);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(horizon));
@@ -153,10 +100,9 @@ BENCHMARK(BM_ProtocolScale)
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  const bool pins_ok = check_seed_pins();
-  if (pins_ok) sweep_report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return pins_ok ? 0 : 1;  // seed-pin drift fails the CI bench job
+  return mh::bench::run_main(argc, argv, "protocol_scale", [] {
+    const bool pins_ok = check_seed_pins();  // seed-pin drift fails the CI bench job
+    if (pins_ok) sweep_report();
+    return pins_ok;
+  });
 }

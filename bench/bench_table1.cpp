@@ -12,6 +12,8 @@
 // row deviates from its own geometric trend (see EXPERIMENTS.md).
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <chrono>
 #include <cstdio>
 
@@ -100,9 +102,6 @@ BENCHMARK(BM_Table1Sweep)->ArgsProduct({{200, 500}, {0, 1}})->Unit(benchmark::kM
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  print_table1();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "table1",
+                             [] { print_table1(); return true; });
 }

@@ -15,6 +15,8 @@
 // the banded DP kernel.
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.hpp"
+
 #include <cstdio>
 
 #include "analysis/baselines.hpp"
@@ -94,10 +96,6 @@ BENCHMARK(BM_PraosCertificate);
 }  // namespace
 
 int main(int argc, char** argv) {
-  mh::engine::print_thread_banner();
-  threshold_sweep();
-  beyond_prior_analyses();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return mh::bench::run_main(argc, argv, "thresholds",
+                             [] { threshold_sweep(); beyond_prior_analyses(); return true; });
 }

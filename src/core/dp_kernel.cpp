@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace mh {
@@ -87,6 +88,21 @@ void BandedDp<Scalar>::step(Scalar pA, Scalar ph, Scalar pH, std::ptrdiff_t slo_
   MH_ASSERT(slo_next >= slo_ - 1 && slo_next <= slo_ + 1 && slo_next <= 0);
   MH_ASSERT(rcap_next >= 1 && (rcap_next == rcap_ || rcap_next == rcap_ - 1));
   MH_ASSERT(safe_sink || slo_next == slo_ - 1);
+
+  MH_OBS_ONLY(if (::mh::obs::enabled()) {
+    MH_OBS_HIST("dp.band_width", static_cast<std::size_t>(shi_next - slo_next + 1));
+    std::size_t cells = 0;
+    for (std::ptrdiff_t rt = 0; rt <= rcap_next; ++rt) {
+      const std::ptrdiff_t hi = rt < shi_next ? rt : shi_next;
+      cells += static_cast<std::size_t>(hi - slo_next + 1);
+    }
+    MH_OBS_COUNT("dp.cells_touched", cells);
+    if constexpr (sizeof(Scalar) > sizeof(double)) {
+      MH_OBS_COUNT("dp.steps_reference", 1);
+    } else {
+      MH_OBS_COUNT("dp.steps_fast", 1);
+    }
+  })
 
   drain_sinks(pA, ph, pH, slo_next, shi_next, safe_sink);
 

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace mh::engine {
@@ -66,6 +67,9 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::for_each_chunk(std::size_t n_chunks,
                                 const std::function<void(std::size_t)>& body) {
   if (n_chunks == 0) return;
+  MH_OBS_COUNT("engine.pool.jobs", 1);
+  MH_OBS_GAUGE_SET("engine.pool.queue_depth", n_chunks);
+  MH_OBS_TIMER("engine.pool.job_ns");
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     body_ = &body;
@@ -76,22 +80,31 @@ void ThreadPool::for_each_chunk(std::size_t n_chunks,
     ++epoch_;
   }
   wake_.notify_all();
-  drain();  // the caller is a full participant
+  drain(/*stolen=*/false);  // the caller is a full participant
   std::unique_lock<std::mutex> lock(mutex_);
   done_.wait(lock, [this] { return active_workers_ == 0; });
   body_ = nullptr;
   if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
 }
 
-void ThreadPool::drain() {
+void ThreadPool::drain(bool stolen) {
   for (;;) {
     const std::size_t chunk = next_chunk_.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= n_chunks_) return;
+    if (stolen) {
+      MH_OBS_COUNT("engine.pool.chunks_stolen", 1);
+    } else {
+      MH_OBS_COUNT("engine.pool.chunks_inline", 1);
+    }
+    MH_OBS_ONLY(const std::uint64_t chunk_begin =
+                    ::mh::obs::enabled() ? ::mh::obs::now_ns() : 0;)
     try {
       (*body_)(chunk);
     } catch (...) {
       record_error();
     }
+    MH_OBS_ONLY(if (::mh::obs::enabled())
+                    MH_OBS_HIST("engine.pool.chunk_ns", ::mh::obs::now_ns() - chunk_begin);)
   }
 }
 
@@ -106,11 +119,17 @@ void ThreadPool::worker_loop() {
   std::uint64_t seen_epoch = 0;
   for (;;) {
     std::unique_lock<std::mutex> lock(mutex_);
+    MH_OBS_ONLY(const std::uint64_t idle_begin =
+                    ::mh::obs::enabled() ? ::mh::obs::now_ns() : 0;)
     wake_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+    MH_OBS_ONLY(if (::mh::obs::enabled()) {
+      MH_OBS_COUNT("engine.pool.wakeups", 1);
+      MH_OBS_HIST("engine.pool.idle_ns", ::mh::obs::now_ns() - idle_begin);
+    })
     if (stop_) return;
     seen_epoch = epoch_;
     lock.unlock();
-    drain();
+    drain(/*stolen=*/true);
     lock.lock();
     if (--active_workers_ == 0) done_.notify_one();
   }

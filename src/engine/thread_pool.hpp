@@ -63,7 +63,7 @@ class ThreadPool {
 
  private:
   void worker_loop();
-  void drain();
+  void drain(bool stolen);
   void record_error() noexcept;
 
   std::mutex mutex_;

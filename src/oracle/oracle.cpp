@@ -3,6 +3,7 @@
 #include "delta/delta_fork.hpp"
 #include "fork/margin.hpp"
 #include "fork/validate.hpp"
+#include "obs/obs.hpp"
 #include "protocol/bridge.hpp"
 #include "support/check.hpp"
 
@@ -39,6 +40,8 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng) {
   MH_REQUIRE(config.target_slot + config.k <= config.horizon);
   config.law.validate();
 
+  RunVerdict verdict;
+
   // --- protocol side: one seeded execution under the chosen strategy --------
   const LeaderSchedule schedule =
       LeaderSchedule::from_tetra_law(config.law, config.horizon, config.honest_parties, rng);
@@ -46,35 +49,46 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng) {
       make_strategy(config.strategy, config, rng());
   Simulation sim(schedule, SimulationConfig{config.tie_break, rng()}, config.delta,
                  adversary.get());
-  sim.watch_settlement(config.target_slot, config.k);
-  sim.run_until(config.target_slot + config.k);
-  const bool tied = sim.observed_settlement_violation(config.target_slot);
-  sim.run_until(config.horizon);
-
-  RunVerdict verdict;
+  bool tied = false;
+  {
+    MH_OBS_TIMER("oracle.phase.simulate");
+    sim.watch_settlement(config.target_slot, config.k);
+    sim.run_until(config.target_slot + config.k);
+    tied = sim.observed_settlement_violation(config.target_slot);
+    sim.run_until(config.horizon);
+  }
   verdict.simulated_violation =
       tied || sim.settlement_watch_violated(config.target_slot);
 
   // --- analytic side: reduce, decompose, run the Theorem-5 recurrence ------
-  const AnalyticProjection view =
-      project_schedule(schedule, config.delta, config.target_slot);
-  // The margin trajectory covers every observation with at least one reduced
-  // suffix symbol; when the whole confirmation window is empty the first
-  // observation sees x' alone, and the allowance is the distinct-balance
-  // condition on x' (Fact 6 at every divergence point).
-  verdict.analytic_allows =
-      margin_allows_violation(view) ||
-      (empty_observation_window(view, config.k) && prefix_admits_distinct_balance(view));
-  verdict.string_margin = view.margin.back();  // mu_{x'}(y') over the full suffix
+  const AnalyticProjection view = [&] {
+    MH_OBS_TIMER("oracle.phase.project");
+    AnalyticProjection v = project_schedule(schedule, config.delta, config.target_slot);
+    // The margin trajectory covers every observation with at least one reduced
+    // suffix symbol; when the whole confirmation window is empty the first
+    // observation sees x' alone, and the allowance is the distinct-balance
+    // condition on x' (Fact 6 at every divergence point).
+    verdict.analytic_allows =
+        margin_allows_violation(v) ||
+        (empty_observation_window(v, config.k) && prefix_admits_distinct_balance(v));
+    verdict.string_margin = v.margin.back();  // mu_{x'}(y') over the full suffix
+    return v;
+  }();
 
   // --- refinement: the execution relabels into a valid fork for w' ---------
-  const ExecutionFork execution = fork_from_blocks(sim.all_blocks());
-  const Fork projected =
-      project_to_synchronous(execution.fork, view.reduction.inverse);
-  verdict.fork_valid = validate_fork(projected, view.reduction.reduced).ok;
-  verdict.fork_margin =
-      relative_margin(projected, view.reduction.reduced, view.x_len);
-  verdict.margin_dominated = verdict.fork_margin <= verdict.string_margin;
+  const Fork projected = [&] {
+    MH_OBS_TIMER("oracle.phase.validate");
+    const ExecutionFork execution = fork_from_blocks(sim.all_blocks());
+    Fork p = project_to_synchronous(execution.fork, view.reduction.inverse);
+    verdict.fork_valid = validate_fork(p, view.reduction.reduced).ok;
+    return p;
+  }();
+  {
+    MH_OBS_TIMER("oracle.phase.reduce");
+    verdict.fork_margin =
+        relative_margin(projected, view.reduction.reduced, view.x_len);
+    verdict.margin_dominated = verdict.fork_margin <= verdict.string_margin;
+  }
   return verdict;
 }
 

@@ -1,8 +1,11 @@
 #include "oracle/scenario.hpp"
 
+#include <algorithm>
+
 #include "delta/delta_settlement.hpp"
 #include "engine/seed_sequence.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/obs.hpp"
 #include "sim/monte_carlo.hpp"
 #include "support/check.hpp"
 
@@ -13,6 +16,8 @@ namespace {
 CellVerdict run_cell(const MatrixConfig& config, const NamedLaw& named, std::size_t tie_i,
                      std::size_t delta_i, std::size_t strategy_i, std::size_t law_i,
                      std::uint64_t cell_seed) {
+  MH_OBS_TIMER("oracle.cell_ns");
+  MH_OBS_COUNT("oracle.cells", 1);
   RunConfig rc;
   rc.law = named.law;
   rc.tie_break = config.tie_breaks[tie_i];
@@ -33,6 +38,7 @@ CellVerdict run_cell(const MatrixConfig& config, const NamedLaw& named, std::siz
   const engine::SeedSequence streams(cell_seed);
   for (std::size_t r = 0; r < config.runs; ++r) {
     Rng rng = streams.stream(r);
+    MH_OBS_COUNT("oracle.executions", 1);
     const RunVerdict v = check_execution(rc, rng);
     if (r == 0) out.first_run = v.code();
     if (v.simulated_violation) ++out.simulated_violations;
@@ -61,6 +67,17 @@ CellVerdict run_cell(const MatrixConfig& config, const NamedLaw& named, std::siz
     out.mc_checked = true;
     out.mc_within_band = out.recurrence_mc.lo <= static_cast<double>(out.exact_pk) &&
                          static_cast<double>(out.exact_pk) <= out.recurrence_mc.hi;
+    // MC<->DP slack: how far the exact value sits from the nearer band edge,
+    // in parts-per-million of the band width (0 = touching an edge; a
+    // persistently tiny slack flags a band about to break).
+    MH_OBS_ONLY(if (::mh::obs::enabled() && out.mc_within_band) {
+      const double width = out.recurrence_mc.hi - out.recurrence_mc.lo;
+      if (width > 0.0) {
+        const double exact = static_cast<double>(out.exact_pk);
+        const double edge = std::min(exact - out.recurrence_mc.lo, out.recurrence_mc.hi - exact);
+        MH_OBS_HIST("oracle.mc_band_slack_ppm", static_cast<std::uint64_t>(1e6 * edge / width));
+      }
+    })
   }
 
   const Proportion protocol =

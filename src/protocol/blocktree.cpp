@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace mh {
@@ -67,6 +68,7 @@ const Block& BlockTree::block(BlockHash hash) const { return entries_[index_of(h
 std::size_t BlockTree::length(BlockHash hash) const { return entries_[index_of(hash)].length; }
 
 std::uint32_t BlockTree::lift(std::uint32_t idx, std::size_t steps) const {
+  MH_OBS_HIST("protocol.tree.lift_steps", steps);
   for (std::size_t j = 0; steps != 0; ++j, steps >>= 1)
     if (steps & 1u) idx = entries_[idx].up[j];
   return idx;
@@ -98,6 +100,7 @@ std::vector<BlockHash> BlockTree::chain(BlockHash head) const {
 }
 
 BlockHash BlockTree::common_ancestor(BlockHash a, BlockHash b) const {
+  MH_OBS_COUNT("protocol.tree.ancestor_queries", 1);
   std::uint32_t ia = index_of(a);
   std::uint32_t ib = index_of(b);
   if (entries_[ia].length > entries_[ib].length) std::swap(ia, ib);
@@ -114,6 +117,7 @@ BlockHash BlockTree::common_ancestor(BlockHash a, BlockHash b) const {
 }
 
 std::optional<BlockHash> BlockTree::block_at_slot(BlockHash head, std::uint64_t slot) const {
+  MH_OBS_COUNT("protocol.tree.ancestor_queries", 1);
   std::uint32_t idx = index_of(head);
   if (idx == 0) return std::nullopt;
   if (entries_[idx].block.slot <= slot) return entries_[idx].block.hash;
@@ -130,6 +134,7 @@ std::optional<BlockHash> BlockTree::block_at_slot(BlockHash head, std::uint64_t 
 }
 
 BlockHash BlockTree::ancestor_at_length(BlockHash head, std::size_t len) const {
+  MH_OBS_COUNT("protocol.tree.ancestor_queries", 1);
   const std::uint32_t idx = index_of(head);
   MH_REQUIRE_MSG(len <= entries_[idx].length, "ancestor below genesis");
   return entries_[lift(idx, entries_[idx].length - len)].block.hash;
@@ -151,6 +156,7 @@ void OrphanBuffer::flush(BlockTree& tree, std::vector<Block>* accepted) {
           if (accepted) accepted->push_back(b);
           hashes_.erase(b.hash);
           progress = true;
+          MH_OBS_COUNT("protocol.node.orphans_flushed", 1);
           break;
         case BlockTree::AddResult::Orphan:
           still.push_back(b);
@@ -160,6 +166,7 @@ void OrphanBuffer::flush(BlockTree& tree, std::vector<Block>* accepted) {
           // A buffered block whose parent arrived but whose labels are bad is
           // permanently invalid — drop it instead of retrying forever.
           hashes_.erase(b.hash);
+          MH_OBS_COUNT("protocol.node.orphans_dropped", 1);
           break;
       }
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace mh {
@@ -30,6 +31,9 @@ bool Network::covered_all(BlockHash hash, std::size_t due) const {
   return all != sent_all_.end() && all->second <= due;
 }
 
+// Shipping counters are aggregated at the broadcast/inject call sites (one
+// add per round, not per push): push() runs millions of times per execution
+// and a per-push hook alone costs ~2% wall-clock on the E14 acceptance cell.
 void Network::push(PartyId recipient, const Block& block, std::size_t due) {
   queues_[recipient].buckets[due].push_back(block);
 }
@@ -55,13 +59,17 @@ void Network::expire_watermarks(PartyId recipient, std::size_t slot) {
     const auto [hash, due] = queue.sent_log.front();
     queue.sent_log.pop_front();
     const auto it = queue.sent.find(hash);
-    if (it != queue.sent.end() && it->second == due) queue.sent.erase(it);
+    if (it != queue.sent.end() && it->second == due) {
+      queue.sent.erase(it);
+      MH_OBS_COUNT("protocol.net.watermarks_expired", 1);
+    }
   }
 }
 
 void Network::broadcast(const Block& block, std::size_t sent_slot,
                         const std::vector<std::size_t>& per_recipient_delay) {
   MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
+  MH_OBS_COUNT("protocol.net.blocks_shipped", parties_);
   if (per_recipient_delay.empty()) {
     const std::size_t due = sent_slot + 1;
     for (PartyId r = 0; r < parties_; ++r) push(r, block, due);
@@ -98,8 +106,12 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
     // One watermark walk covers every recipient.
     const std::size_t due = sent_slot + 1 + delay;
     lift_scratch_.clear();
-    for (BlockHash h = block.parent; !covered_all(h, due); h = tree.block(h).parent)
-      lift_scratch_.push_back(h);
+    BlockHash h = block.parent;
+    for (; !covered_all(h, due); h = tree.block(h).parent) lift_scratch_.push_back(h);
+    MH_OBS_HIST("protocol.net.chain_sync_depth", lift_scratch_.size());
+    MH_OBS_COUNT("protocol.net.blocks_shipped", (lift_scratch_.size() + 1) * parties_);
+    // The walk stopping short of genesis means a watermark answered it.
+    if (h != genesis_block().hash) MH_OBS_COUNT("protocol.net.watermark_hits", 1);
     for (std::size_t i = lift_scratch_.size(); i-- > 0;) {
       const Block& ancestor = tree.block(lift_scratch_[i]);
       for (PartyId r = 0; r < parties_; ++r) push(r, ancestor, due);
@@ -111,15 +123,19 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
   }
 
   std::size_t due_max = sent_slot + 1;
+  MH_OBS_ONLY(std::size_t shipped = 0;)
   for (PartyId r = 0; r < parties_; ++r) {
     const std::size_t delay = per_recipient_delay[r];
     MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
     const std::size_t due = sent_slot + 1 + delay;
     due_max = std::max(due_max, due);
     lift_scratch_.clear();
-    for (BlockHash h = block.parent; h != genesis_block().hash && !covered(r, h, due);
-         h = tree.block(h).parent)
+    BlockHash h = block.parent;
+    for (; h != genesis_block().hash && !covered(r, h, due); h = tree.block(h).parent)
       lift_scratch_.push_back(h);
+    MH_OBS_HIST("protocol.net.chain_sync_depth", lift_scratch_.size());
+    MH_OBS_ONLY(shipped += lift_scratch_.size() + 1;)
+    if (h != genesis_block().hash) MH_OBS_COUNT("protocol.net.watermark_hits", 1);
     for (std::size_t i = lift_scratch_.size(); i-- > 0;) {
       push(r, tree.block(lift_scratch_[i]), due);
       record_recipient(r, lift_scratch_[i], due);
@@ -127,6 +143,7 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
     push(r, block, due);
     record_recipient(r, block.hash, due);
   }
+  MH_OBS_COUNT("protocol.net.blocks_shipped", shipped);
   // After the round every recipient holds the block with full ancestry by the
   // latest due, so the all-recipient bound tightens (and future walks stop on
   // it instead of consulting per-recipient state).
@@ -137,6 +154,7 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
 
 void Network::inject(const Block& block, PartyId recipient, std::size_t visible_slot) {
   MH_REQUIRE(recipient < parties_);
+  MH_OBS_COUNT("protocol.net.blocks_shipped", 1);
   push(recipient, block, visible_slot);
   // Watermarks must stay chain-complete: a partial disclosure (parent not
   // covered) is NOT recorded, so later honest broadcasts re-ship the prefix.
@@ -145,6 +163,7 @@ void Network::inject(const Block& block, PartyId recipient, std::size_t visible_
 }
 
 void Network::inject_all(const Block& block, std::size_t visible_slot) {
+  MH_OBS_COUNT("protocol.net.blocks_shipped", parties_);
   // When the parent is covered for everyone, the all-recipient record alone
   // carries the coverage — per-recipient entries would be strictly redundant.
   const bool all_covered = covered_all(block.parent, visible_slot);

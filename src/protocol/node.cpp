@@ -1,5 +1,6 @@
 #include "protocol/node.hpp"
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace mh {
@@ -9,9 +10,14 @@ HonestNode::HonestNode(PartyId id, TieBreak rule, const LeaderSchedule* schedule
   MH_REQUIRE(schedule != nullptr);
 }
 
+// blocks_received is counted (aggregated) by Simulation::deliver_due / step;
+// receive() itself only records the rare outcomes.
 void HonestNode::receive(const Block& block, std::vector<Block>* accepted) {
-  if (!verify_block_integrity(block)) return;                  // forged header
-  if (!schedule_->eligible(block.issuer, block.slot)) return;  // signature check
+  if (!verify_block_integrity(block) ||                  // forged header
+      !schedule_->eligible(block.issuer, block.slot)) {  // signature check
+    MH_OBS_COUNT("protocol.node.invalid_dropped", 1);
+    return;
+  }
   switch (tree_.try_add(block)) {
     case BlockTree::AddResult::Added:
       if (accepted) accepted->push_back(block);
@@ -20,10 +26,13 @@ void HonestNode::receive(const Block& block, std::vector<Block>* accepted) {
     case BlockTree::AddResult::Orphan:
       // Parent not yet known: buffer (deduplicated) and retry when ancestors
       // arrive; re-delivery cannot grow the buffer.
+      MH_OBS_COUNT("protocol.node.orphans_buffered", 1);
       orphans_.buffer(block);
       break;
     case BlockTree::AddResult::Duplicate:  // already in the view
-    case BlockTree::AddResult::Invalid:    // can never become valid: drop
+      break;
+    case BlockTree::AddResult::Invalid:  // can never become valid: drop
+      MH_OBS_COUNT("protocol.node.invalid_dropped", 1);
       break;
   }
 }

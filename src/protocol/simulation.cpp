@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "support/check.hpp"
 
 namespace mh {
@@ -50,8 +51,12 @@ void Simulation::public_add(const Block& block) {
 }
 
 void Simulation::deliver_due(std::size_t slot) {
+  // Delivery counters aggregate over the whole node loop (one add per round):
+  // per-(node, slot) hooks here run millions of times on the E14 scale cells.
+  MH_OBS_ONLY(std::size_t delivered = 0;)
   for (HonestNode& node : nodes_) {
     network_.collect_into(node.id(), slot, &delivery_scratch_);
+    MH_OBS_ONLY(delivered += delivery_scratch_.size();)
     for (const Block& b : delivery_scratch_) {
       accepted_scratch_.clear();
       node.receive(b, &accepted_scratch_);
@@ -61,10 +66,15 @@ void Simulation::deliver_due(std::size_t slot) {
       for (const Block& a : accepted_scratch_) public_add(a);
     }
   }
+  MH_OBS_ONLY(if (delivered != 0) {
+    MH_OBS_COUNT("protocol.net.blocks_delivered", delivered);
+    MH_OBS_COUNT("protocol.node.blocks_received", delivered);
+  })
 }
 
 void Simulation::step() {
   const std::size_t t = next_slot_++;
+  MH_OBS_COUNT("protocol.sim.slots", 1);
 
   // 1. Deliveries due at the onset of slot t, then settlement observations.
   deliver_due(t);
@@ -93,6 +103,10 @@ void Simulation::step() {
       }
     }
     forged.push_back(make_block(parent, t, leader, rng_()));
+  }
+  if (!forged.empty()) {
+    MH_OBS_COUNT("protocol.sim.honest_forged", forged.size());
+    MH_OBS_COUNT("protocol.node.blocks_received", forged.size());  // leader self-receives
   }
 
   // 4. Broadcast; record; leaders adopt their own blocks immediately. Honest
