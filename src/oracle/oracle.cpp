@@ -1,5 +1,7 @@
 #include "oracle/oracle.hpp"
 
+#include <optional>
+
 #include "delta/delta_fork.hpp"
 #include "fork/margin.hpp"
 #include "fork/validate.hpp"
@@ -19,6 +21,10 @@ const char* strategy_name(Strategy s) noexcept {
 }
 
 char RunVerdict::code() const noexcept {
+  if (degraded) {
+    if (!recovery_checked) return 'u';
+    return dominated() ? 'd' : '!';
+  }
   if (!dominated()) return '!';
   if (simulated_violation) return 'V';
   return analytic_allows ? 'a' : '.';
@@ -35,7 +41,7 @@ std::unique_ptr<Adversary> make_strategy(Strategy strategy, const RunConfig& con
   return nullptr;
 }
 
-RunVerdict check_execution(const RunConfig& config, Rng& rng) {
+RunVerdict check_execution(const RunConfig& config, Rng& rng, const faults::FaultPlan* plan) {
   MH_REQUIRE(config.target_slot >= 1 && config.k >= 1);
   MH_REQUIRE(config.target_slot + config.k <= config.horizon);
   config.law.validate();
@@ -47,8 +53,10 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng) {
       LeaderSchedule::from_tetra_law(config.law, config.horizon, config.honest_parties, rng);
   const std::unique_ptr<Adversary> adversary =
       make_strategy(config.strategy, config, rng());
+  std::optional<faults::FaultInjector> injector;
+  if (plan != nullptr) injector.emplace(*plan, config.honest_parties, config.horizon);
   Simulation sim(schedule, SimulationConfig{config.tie_break, rng()}, config.delta,
-                 adversary.get());
+                 adversary.get(), injector ? &*injector : nullptr);
   bool tied = false;
   {
     MH_OBS_TIMER("oracle.phase.simulate");
@@ -60,10 +68,45 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng) {
   verdict.simulated_violation =
       tied || sim.settlement_watch_violated(config.target_slot);
 
+  // --- fault audit: realized synchrony decides the projection's Delta ------
+  std::size_t project_delta = config.delta;
+  std::optional<LeaderSchedule> effective;
+  const LeaderSchedule* projected_schedule = &schedule;
+  if (injector) {
+    const FaultReport report = sim.fault_report();
+    verdict.faulted = true;
+    verdict.observed_delta = static_cast<std::uint32_t>(report.observed_delta);
+    verdict.delta_unbounded = report.delivery_unbounded;
+    verdict.degraded = report.delivery_unbounded || report.observed_delta > config.delta;
+    verdict.resync_blocks = static_cast<std::uint32_t>(report.stats.resync_blocks);
+    verdict.faults_injected = static_cast<std::uint32_t>(report.stats.injected());
+    MH_OBS_COUNT("oracle.faulted_runs", 1);
+    MH_OBS_COUNT("protocol.faults.injected", report.stats.injected());
+    if (report.leaderships_skipped != 0) {
+      // Down leaders forged nothing: the realized block set matches the
+      // schedule with those leaderships removed, and the projection must
+      // relabel against THAT characteristic string (else F1 fails on honest
+      // indices with no vertex).
+      effective = injector->effective_schedule(schedule);
+      projected_schedule = &*effective;
+    }
+    if (verdict.degraded) {
+      MH_OBS_COUNT("oracle.degraded_runs", 1);
+      // Never a silent pass: the run is flagged, then — when a finite
+      // observed Delta exists — held to the invariants AT that Delta (the
+      // graceful-degradation contract). Unbounded non-delivery admits no
+      // finite projection; the flag alone stands ('u').
+      if (verdict.delta_unbounded) return verdict;
+      project_delta = report.observed_delta;
+      verdict.recovery_checked = true;
+    }
+  }
+
   // --- analytic side: reduce, decompose, run the Theorem-5 recurrence ------
   const AnalyticProjection view = [&] {
     MH_OBS_TIMER("oracle.phase.project");
-    AnalyticProjection v = project_schedule(schedule, config.delta, config.target_slot);
+    AnalyticProjection v = project_schedule(*projected_schedule, project_delta,
+                                            config.target_slot);
     // The margin trajectory covers every observation with at least one reduced
     // suffix symbol; when the whole confirmation window is empty the first
     // observation sees x' alone, and the allowance is the distinct-balance

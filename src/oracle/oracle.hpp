@@ -18,6 +18,20 @@
 // All three are exact statements (no tolerance, no sampling error), so a
 // single counterexample is a genuine bug in either the simulator or the
 // analytic stack - which is precisely what a differential oracle is for.
+//
+// Faulted executions (check_execution with a FaultPlan) are projected with
+// the execution's OBSERVED Delta — the max realized honest first-delivery
+// delay outside crash shadows — against the EFFECTIVE schedule (down leaders
+// forge nothing, so their leaderships leave the characteristic string):
+//
+//   * observed Delta <= configured Delta: the run is a legitimate
+//     Delta-execution and every invariant above must hold unchanged;
+//   * observed Delta beyond the bound: the run is flagged `degraded` (never a
+//     silent pass) and re-projected at the observed Delta — the reduction is
+//     defined for every finite Delta, so graceful degradation is itself an
+//     invariant (code 'd' when it holds, '!' when it does not);
+//   * some honest block never delivered at all (unhealed partition): no
+//     finite Delta describes the run; it is flagged unchecked (code 'u').
 #pragma once
 
 #include <cstdint>
@@ -25,6 +39,7 @@
 
 #include "oracle/characteristic.hpp"
 #include "protocol/adversary.hpp"
+#include "protocol/faults/plan.hpp"
 
 namespace mh::oracle {
 
@@ -56,14 +71,27 @@ struct RunVerdict {
   std::int64_t fork_margin = 0;      ///< mu_{x'} of the relabeled execution fork
   std::int64_t string_margin = 0;    ///< mu_{x'}(y') of the recurrence, full suffix
 
+  // Fault audit (all false/0 for un-faulted executions).
+  bool faulted = false;           ///< a FaultPlan perturbed this execution
+  bool degraded = false;          ///< observed Delta exceeded the configured bound
+  bool delta_unbounded = false;   ///< an honest block was never delivered at all
+  bool recovery_checked = false;  ///< degraded run re-projected at observed Delta
+  std::uint32_t observed_delta = 0;   ///< max realized honest delay (counted)
+  std::uint32_t resync_blocks = 0;    ///< blocks re-shipped by heal/restart re-sync
+  std::uint32_t faults_injected = 0;  ///< drops + dups + delays + crash/restart events
+
   /// The domination invariant: no violation on a margin-forbidden string.
+  /// For a degraded (recovery-checked) run the fields hold the observed-Delta
+  /// projection, so this doubles as the graceful-degradation invariant.
   [[nodiscard]] bool dominated() const noexcept {
     return (!simulated_violation || analytic_allows) && fork_valid && margin_dominated;
   }
 
   /// Compact encoding for golden pinning: '.' quiet, 'a' margin allows but no
   /// simulated violation, 'V' simulated violation (analytic side agrees),
-  /// '!' any invariant breach.
+  /// '!' any invariant breach; faulted out-of-bound runs report 'd' (degraded
+  /// gracefully: observed-Delta projection holds) or 'u' (unbounded observed
+  /// Delta, projection undefined) — never a silent pass.
   [[nodiscard]] char code() const noexcept;
 
   friend bool operator==(const RunVerdict&, const RunVerdict&) = default;
@@ -73,7 +101,10 @@ struct RunVerdict {
 std::unique_ptr<Adversary> make_strategy(Strategy strategy, const RunConfig& config,
                                          std::uint64_t seed);
 
-/// Runs one seeded execution of `config` and both sides of the oracle.
-RunVerdict check_execution(const RunConfig& config, Rng& rng);
+/// Runs one seeded execution of `config` and both sides of the oracle. With a
+/// FaultPlan the execution is perturbed and audited as documented above; a
+/// null plan leaves every code path (and every rng draw) exactly as before.
+RunVerdict check_execution(const RunConfig& config, Rng& rng,
+                           const faults::FaultPlan* plan = nullptr);
 
 }  // namespace mh::oracle

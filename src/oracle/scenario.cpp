@@ -15,7 +15,7 @@ namespace {
 
 CellVerdict run_cell(const MatrixConfig& config, const NamedLaw& named, std::size_t tie_i,
                      std::size_t delta_i, std::size_t strategy_i, std::size_t law_i,
-                     std::uint64_t cell_seed) {
+                     faults::FaultProfile profile, std::uint64_t cell_seed) {
   MH_OBS_TIMER("oracle.cell_ns");
   MH_OBS_COUNT("oracle.cells", 1);
   RunConfig rc;
@@ -33,24 +33,64 @@ CellVerdict run_cell(const MatrixConfig& config, const NamedLaw& named, std::siz
   out.delta = rc.delta;
   out.strategy = rc.strategy;
   out.law_index = law_i;
+  out.fault_profile = profile;
   out.runs = config.runs;
 
+  const bool faulted_cell = profile != faults::FaultProfile::None;
   const engine::SeedSequence streams(cell_seed);
+  // Plans draw from their own derived stream, never from the run's rng: a
+  // None cell consumes exactly the draws of the pre-fault matrix, keeping the
+  // golden pins, and a plan is a pure function of (cell seed, run index).
+  const engine::SeedSequence plan_streams(cell_seed ^ 0xfa01c0defa01c0deULL);
   for (std::size_t r = 0; r < config.runs; ++r) {
     Rng rng = streams.stream(r);
     MH_OBS_COUNT("oracle.executions", 1);
-    const RunVerdict v = check_execution(rc, rng);
+    faults::FaultPlan plan;
+    if (faulted_cell) {
+      Rng plan_rng = plan_streams.stream(r);
+      plan = faults::sample_fault_plan(profile, rc.honest_parties, rc.horizon, rc.delta,
+                                       plan_rng);
+    }
+    const RunVerdict v = check_execution(rc, rng, faulted_cell ? &plan : nullptr);
     if (r == 0) out.first_run = v.code();
     if (v.simulated_violation) ++out.simulated_violations;
     if (v.analytic_allows) ++out.analytic_allowed;
-    if (v.simulated_violation && !v.analytic_allows) ++out.domination_failures;
-    if (!v.fork_valid) ++out.fork_invalid;
-    if (!v.margin_dominated) ++out.margin_breaches;
+    bool run_dirty = false;
+    if (v.degraded) {
+      // Out-of-bound run: flagged, and graded against its observed Delta.
+      ++out.degraded_runs;
+      if (!v.recovery_checked) ++out.degraded_unchecked;
+      else if (!v.dominated()) {
+        ++out.recovery_failures;
+        run_dirty = true;
+      }
+    } else {
+      // Within the configured bound (faulted or not) the full invariant set
+      // applies unchanged.
+      if (v.simulated_violation && !v.analytic_allows) ++out.domination_failures;
+      if (!v.fork_valid) ++out.fork_invalid;
+      if (!v.margin_dominated) ++out.margin_breaches;
+      run_dirty = !v.dominated();
+    }
+    if (!v.delta_unbounded)
+      out.max_observed_delta = std::max(out.max_observed_delta,
+                                        static_cast<std::size_t>(v.observed_delta));
+    out.resync_blocks += v.resync_blocks;
+    out.faults_injected += v.faults_injected;
+    if (faulted_cell && run_dirty && out.first_failure_run == SIZE_MAX) {
+      // The minimal reproducer: (matrix seed, cell index, run index, plan)
+      // rebuilds this exact execution anywhere.
+      out.first_failure_run = r;
+      out.first_failure_plan = plan.serialize();
+    }
   }
 
   // Stochastic cross-validation on the cell's reduced law. Below honest
   // majority the DP saturates at 1 and X_inf diverges, so the bands carry no
-  // information; the ceiling stays at the trivial 1.
+  // information; the ceiling stays at the trivial 1. Faulted cells skip the
+  // checks entirely: crashes thin the realized leader law, so neither the
+  // MC band nor the un-faulted analytic ceiling bounds what they simulate.
+  if (faulted_cell) return out;
   const SymbolLaw reduced = reduced_law(named.law, rc.delta);
   out.reduced_epsilon = reduced.epsilon();
   if (reduced.epsilon() > 0.0) {
@@ -118,6 +158,24 @@ std::size_t MatrixResult::total_margin_breaches() const noexcept {
   return n;
 }
 
+std::size_t MatrixResult::total_degraded() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.degraded_runs;
+  return n;
+}
+
+std::size_t MatrixResult::total_recovery_failures() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.recovery_failures;
+  return n;
+}
+
+std::size_t MatrixResult::total_resync_blocks() const noexcept {
+  std::size_t n = 0;
+  for (const CellVerdict& c : cells) n += c.resync_blocks;
+  return n;
+}
+
 bool MatrixResult::all_clean() const noexcept {
   for (const CellVerdict& c : cells)
     if (!c.clean()) return false;
@@ -137,12 +195,28 @@ std::vector<NamedLaw> default_matrix_laws() {
 }
 
 std::size_t cell_index(const MatrixConfig& config, std::size_t tie_i, std::size_t delta_i,
-                       std::size_t strategy_i, std::size_t law_i) {
+                       std::size_t strategy_i, std::size_t law_i, std::size_t fault_i) {
   const std::size_t n_laws =
       config.laws.empty() ? default_matrix_laws().size() : config.laws.size();
-  return ((tie_i * config.deltas.size() + delta_i) * config.strategies.size() + strategy_i) *
+  return (((fault_i * config.tie_breaks.size() + tie_i) * config.deltas.size() + delta_i) *
+              config.strategies.size() +
+          strategy_i) *
              n_laws +
          law_i;
+}
+
+MatrixConfig fault_band_config() {
+  MatrixConfig config;
+  config.tie_breaks = {TieBreak::AdversarialOrder, TieBreak::ConsistentHash};
+  config.deltas = {1, 2};
+  config.strategies = {Strategy::Balance, Strategy::Randomized};
+  config.fault_profiles = {faults::FaultProfile::None,       faults::FaultProfile::PartitionHeal,
+                           faults::FaultProfile::Churn,      faults::FaultProfile::LossyLinks,
+                           faults::FaultProfile::Asynchrony, faults::FaultProfile::Mixed};
+  config.runs = 12;
+  config.mc_samples = 500;
+  config.seed = 6101;
+  return config;
 }
 
 MatrixResult run_scenario_matrix(const MatrixConfig& config) {
@@ -153,23 +227,31 @@ MatrixResult run_scenario_matrix(const MatrixConfig& config) {
       config.laws.empty() ? default_matrix_laws() : config.laws;
   for (const NamedLaw& named : laws) named.law.validate();
 
-  const std::size_t n_cells =
-      config.tie_breaks.size() * config.deltas.size() * config.strategies.size() * laws.size();
+  // An empty profile list degenerates to the single un-faulted band.
+  const std::vector<faults::FaultProfile> profiles =
+      config.fault_profiles.empty()
+          ? std::vector<faults::FaultProfile>{faults::FaultProfile::None}
+          : config.fault_profiles;
+
+  const std::size_t n_cells = profiles.size() * config.tie_breaks.size() *
+                              config.deltas.size() * config.strategies.size() * laws.size();
   MatrixResult result;
   result.cells.resize(n_cells);
 
   const engine::SeedSequence cell_seeds(config.seed);
   engine::for_each_index(n_cells, config.threads, [&](std::size_t idx) {
-    // Invert the row-major (tie, delta, strategy, law) index.
+    // Invert the row-major (fault, tie, delta, strategy, law) index.
     std::size_t rest = idx;
     const std::size_t law_i = rest % laws.size();
     rest /= laws.size();
     const std::size_t strategy_i = rest % config.strategies.size();
     rest /= config.strategies.size();
     const std::size_t delta_i = rest % config.deltas.size();
-    const std::size_t tie_i = rest / config.deltas.size();
+    rest /= config.deltas.size();
+    const std::size_t tie_i = rest % config.tie_breaks.size();
+    const std::size_t fault_i = rest / config.tie_breaks.size();
     result.cells[idx] = run_cell(config, laws[law_i], tie_i, delta_i, strategy_i, law_i,
-                                 cell_seeds.derive(idx));
+                                 profiles[fault_i], cell_seeds.derive(idx));
   });
   return result;
 }

@@ -35,6 +35,12 @@ struct MatrixConfig {
   std::vector<Strategy> strategies{Strategy::PrivateChain, Strategy::Balance,
                                    Strategy::Randomized};
   std::vector<NamedLaw> laws;  ///< default_matrix_laws() when empty
+  /// The fault band: one matrix copy per profile, outermost axis. The default
+  /// single None keeps the pre-fault index geometry, cell seeds and golden
+  /// pins bit-identical. Faulted cells draw one FaultPlan per run from a
+  /// stream disjoint from the execution's, so a None cell consumes exactly
+  /// the draws it always did.
+  std::vector<faults::FaultProfile> fault_profiles{faults::FaultProfile::None};
 
   std::size_t target_slot = 2;
   std::size_t k = 6;
@@ -54,6 +60,7 @@ struct CellVerdict {
   std::size_t delta = 0;
   Strategy strategy = Strategy::PrivateChain;
   std::size_t law_index = 0;
+  faults::FaultProfile fault_profile = faults::FaultProfile::None;
 
   // Execution tallies.
   std::size_t runs = 0;
@@ -74,22 +81,40 @@ struct CellVerdict {
   bool mc_within_band = true;
   bool protocol_within_ceiling = true;
 
+  // Fault-band tallies (all zero in a None cell). Degraded runs leave the
+  // domination buckets above (which then cover exactly the within-bound runs)
+  // and land here: flagged, and — when a finite observed Delta exists — held
+  // to the invariants at that Delta instead.
+  std::size_t degraded_runs = 0;       ///< observed Delta pushed past the bound
+  std::size_t degraded_unchecked = 0;  ///< unbounded observed Delta: flag only
+  std::size_t recovery_failures = 0;   ///< observed-Delta projection failed
+  std::size_t max_observed_delta = 0;  ///< max finite observed Delta over runs
+  std::size_t resync_blocks = 0;       ///< total re-sync re-ships over runs
+  std::size_t faults_injected = 0;     ///< total perturbations over runs
+  std::size_t first_failure_run = SIZE_MAX;  ///< run index of the reproducer below
+  std::string first_failure_plan;      ///< serialized FaultPlan of the first dirty run
+
   [[nodiscard]] bool clean() const noexcept {
     return domination_failures == 0 && fork_invalid == 0 && margin_breaches == 0 &&
-           mc_within_band && protocol_within_ceiling;
+           recovery_failures == 0 && mc_within_band && protocol_within_ceiling;
   }
 
   friend bool operator==(const CellVerdict&, const CellVerdict&) = default;
 };
 
 struct MatrixResult {
-  std::vector<CellVerdict> cells;  ///< row-major in (tie, delta, strategy, law)
+  /// Row-major in (fault, tie, delta, strategy, law); with the default single
+  /// None profile this is the historical (tie, delta, strategy, law) layout.
+  std::vector<CellVerdict> cells;
 
   [[nodiscard]] std::size_t total_runs() const noexcept;
   [[nodiscard]] std::size_t total_violations() const noexcept;
   [[nodiscard]] std::size_t total_domination_failures() const noexcept;
   [[nodiscard]] std::size_t total_fork_invalid() const noexcept;
   [[nodiscard]] std::size_t total_margin_breaches() const noexcept;
+  [[nodiscard]] std::size_t total_degraded() const noexcept;
+  [[nodiscard]] std::size_t total_recovery_failures() const noexcept;
+  [[nodiscard]] std::size_t total_resync_blocks() const noexcept;
   [[nodiscard]] bool all_clean() const noexcept;
 };
 
@@ -98,9 +123,16 @@ struct MatrixResult {
 /// multiply-honest-heavy law (the Theorem-2 separation workload).
 std::vector<NamedLaw> default_matrix_laws();
 
-/// Flat index of a cell in MatrixResult::cells.
+/// Flat index of a cell in MatrixResult::cells (`fault_i` indexes
+/// config.fault_profiles; the default band has only index 0).
 std::size_t cell_index(const MatrixConfig& config, std::size_t tie_i, std::size_t delta_i,
-                       std::size_t strategy_i, std::size_t law_i);
+                       std::size_t strategy_i, std::size_t law_i, std::size_t fault_i = 0);
+
+/// The chaos band: every fault profile (None baseline included) over a
+/// trimmed axis set sized for CI sanitizer runs — partitions and churn need
+/// Delta >= 1 to have a within-bound side, and two strategies suffice to
+/// exercise both the dedicated attacker and the fuzzing adversary.
+MatrixConfig fault_band_config();
 
 /// Runs the full matrix; cells fan across engine::for_each_index.
 MatrixResult run_scenario_matrix(const MatrixConfig& config);

@@ -118,6 +118,13 @@ class OrphanBuffer {
   /// acceptance order. Duplicate and Invalid outcomes drop the block.
   void flush(BlockTree& tree, std::vector<Block>* accepted);
   [[nodiscard]] std::size_t size() const noexcept { return orphans_.size(); }
+  /// Is a block of this hash waiting for its ancestry?
+  [[nodiscard]] bool contains(BlockHash hash) const { return hashes_.count(hash) != 0; }
+  /// Drop every buffered orphan (crash: the buffer is volatile state).
+  void clear() noexcept {
+    orphans_.clear();
+    hashes_.clear();
+  }
 
  private:
   std::vector<Block> orphans_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/obs.hpp"
+#include "protocol/faults/injector.hpp"
 #include "support/check.hpp"
 
 namespace mh {
@@ -66,11 +67,48 @@ void Network::expire_watermarks(PartyId recipient, std::size_t slot) {
   }
 }
 
+// A send during an active fault window may lose or skew individual links, so
+// it must never advance sent_all_ (the all-recipient bound would overclaim
+// coverage for a recipient whose ship was dropped); per-recipient watermarks
+// record exactly what was actually scheduled.
+bool Network::fault_window(std::size_t slot) const noexcept {
+  return faults_ != nullptr && faults_->window_active(slot);
+}
+
+// The drop/dup/extra-delay decision for one honest ship; returns false when
+// the ship is lost entirely (down recipient, severed link, or link drop).
+bool Network::faulted_link(PartyId sender, PartyId recipient, std::size_t slot,
+                           faults::LinkVerdict* verdict) {
+  if (faults_->is_down(recipient, slot) || faults_->severed(sender, recipient, slot)) {
+    ++faults_->stats().ships_dropped;
+    MH_OBS_COUNT("protocol.faults.ships_dropped", 1);
+    return false;
+  }
+  *verdict = faults_->link_verdict(sender, recipient, slot);
+  if (verdict->drop) {
+    ++faults_->stats().ships_dropped;
+    MH_OBS_COUNT("protocol.faults.ships_dropped", 1);
+    return false;
+  }
+  if (verdict->extra_delay != 0) {
+    ++faults_->stats().ships_delayed;
+    MH_OBS_COUNT("protocol.faults.ships_delayed", 1);
+  }
+  if (verdict->duplicate) {
+    ++faults_->stats().ships_duplicated;
+    MH_OBS_COUNT("protocol.faults.ships_duplicated", 1);
+  }
+  return true;
+}
+
 void Network::broadcast(const Block& block, std::size_t sent_slot,
                         const std::vector<std::size_t>& per_recipient_delay) {
   MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
+  MH_REQUIRE_MSG(block.slot <= sent_slot,
+                 "non-monotone broadcast: a block cannot be sent before its own slot");
   MH_OBS_COUNT("protocol.net.blocks_shipped", parties_);
-  if (per_recipient_delay.empty()) {
+  const bool faulted = fault_window(sent_slot);
+  if (per_recipient_delay.empty() && !faulted) {
     const std::size_t due = sent_slot + 1;
     for (PartyId r = 0; r < parties_; ++r) push(r, block, due);
     // The block carries no ancestry here; it is chain-complete for all
@@ -80,26 +118,37 @@ void Network::broadcast(const Block& block, std::size_t sent_slot,
   }
   std::size_t due_max = sent_slot + 1;
   for (PartyId r = 0; r < parties_; ++r) {
-    const std::size_t delay = per_recipient_delay[r];
+    const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
     MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
-    const std::size_t due = sent_slot + 1 + delay;
+    std::size_t due = sent_slot + 1 + delay;
+    faults::LinkVerdict link;
+    if (faulted) {
+      if (!faulted_link(block.issuer, r, sent_slot, &link)) continue;
+      due += link.extra_delay;
+    }
     due_max = std::max(due_max, due);
     push(r, block, due);
+    if (faulted && link.duplicate) push(r, block, due);
     if (covered(r, block.parent, due)) record_recipient(r, block.hash, due);
   }
-  if (covered_all(block.parent, due_max)) record(sent_all_, block.hash, due_max);
+  if (!faulted && covered_all(block.parent, due_max)) record(sent_all_, block.hash, due_max);
 }
 
 void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::size_t sent_slot,
                               const std::vector<std::size_t>& per_recipient_delay) {
   MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
+  MH_REQUIRE_MSG(block.slot <= sent_slot,
+                 "non-monotone broadcast: a block cannot be sent before its own slot");
+  const bool faulted = fault_window(sent_slot);
   // An all-equal delay vector (adversaries often return all-zeros) is a
   // uniform broadcast: handle it on the fast path so the per-recipient
-  // watermark maps stay empty — sent_all_ alone carries the coverage.
+  // watermark maps stay empty — sent_all_ alone carries the coverage. Inside
+  // a fault window the round is never uniform: individual links may drop.
   const bool uniform =
-      per_recipient_delay.empty() ||
-      std::all_of(per_recipient_delay.begin(), per_recipient_delay.end(),
-                  [&](std::size_t d) { return d == per_recipient_delay.front(); });
+      !faulted &&
+      (per_recipient_delay.empty() ||
+       std::all_of(per_recipient_delay.begin(), per_recipient_delay.end(),
+                   [&](std::size_t d) { return d == per_recipient_delay.front(); }));
   if (uniform) {
     const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay.front();
     MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
@@ -125,9 +174,16 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
   std::size_t due_max = sent_slot + 1;
   MH_OBS_ONLY(std::size_t shipped = 0;)
   for (PartyId r = 0; r < parties_; ++r) {
-    const std::size_t delay = per_recipient_delay[r];
+    const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
     MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
-    const std::size_t due = sent_slot + 1 + delay;
+    std::size_t due = sent_slot + 1 + delay;
+    faults::LinkVerdict link;
+    if (faulted) {
+      // A lost ship records nothing: the next broadcast on this chain walks
+      // past the gap and re-ships the whole missing suffix to this recipient.
+      if (!faulted_link(block.issuer, r, sent_slot, &link)) continue;
+      due += link.extra_delay;
+    }
     due_max = std::max(due_max, due);
     lift_scratch_.clear();
     BlockHash h = block.parent;
@@ -141,12 +197,15 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
       record_recipient(r, lift_scratch_[i], due);
     }
     push(r, block, due);
+    if (faulted && link.duplicate) push(r, block, due);
     record_recipient(r, block.hash, due);
   }
   MH_OBS_COUNT("protocol.net.blocks_shipped", shipped);
   // After the round every recipient holds the block with full ancestry by the
   // latest due, so the all-recipient bound tightens (and future walks stop on
-  // it instead of consulting per-recipient state).
+  // it instead of consulting per-recipient state). Not during a fault window:
+  // dropped links mean the round did NOT cover every recipient.
+  if (faulted) return;
   for (BlockHash h = block.parent; !covered_all(h, due_max); h = tree.block(h).parent)
     record(sent_all_, h, due_max);
   record(sent_all_, block.hash, due_max);
@@ -154,6 +213,15 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
 
 void Network::inject(const Block& block, PartyId recipient, std::size_t visible_slot) {
   MH_REQUIRE(recipient < parties_);
+  MH_REQUIRE_MSG(visible_slot >= block.slot,
+                 "non-monotone injection: a block cannot be visible before its own slot");
+  // Partitions never sever adversarial channels (the coalition keeps links
+  // into every component), but a crashed endpoint receives nothing.
+  if (faults_ != nullptr && faults_->is_down(recipient, visible_slot)) {
+    ++faults_->stats().ships_dropped;
+    MH_OBS_COUNT("protocol.faults.ships_dropped", 1);
+    return;
+  }
   MH_OBS_COUNT("protocol.net.blocks_shipped", 1);
   push(recipient, block, visible_slot);
   // Watermarks must stay chain-complete: a partial disclosure (parent not
@@ -163,16 +231,49 @@ void Network::inject(const Block& block, PartyId recipient, std::size_t visible_
 }
 
 void Network::inject_all(const Block& block, std::size_t visible_slot) {
+  MH_REQUIRE_MSG(visible_slot >= block.slot,
+                 "non-monotone injection: a block cannot be visible before its own slot");
   MH_OBS_COUNT("protocol.net.blocks_shipped", parties_);
+  const bool faulted = fault_window(visible_slot);
   // When the parent is covered for everyone, the all-recipient record alone
   // carries the coverage — per-recipient entries would be strictly redundant.
-  const bool all_covered = covered_all(block.parent, visible_slot);
+  // A fault window disables it: a down recipient's ship is dropped.
+  const bool all_covered = !faulted && covered_all(block.parent, visible_slot);
   for (PartyId r = 0; r < parties_; ++r) {
+    if (faulted && faults_->is_down(r, visible_slot)) {
+      ++faults_->stats().ships_dropped;
+      MH_OBS_COUNT("protocol.faults.ships_dropped", 1);
+      continue;
+    }
     push(r, block, visible_slot);
     if (!all_covered && covered(r, block.parent, visible_slot))
       record_recipient(r, block.hash, visible_slot);
   }
   if (all_covered) record(sent_all_, block.hash, visible_slot);
+}
+
+void Network::crash_recipient(PartyId recipient) {
+  MH_REQUIRE(recipient < parties_);
+  RecipientQueue& queue = queues_[recipient];
+  // Volatile endpoint state is lost: queued deliveries and the chain-sync
+  // watermarks that claimed they were scheduled. The all-recipient bound
+  // covers this recipient's wiped in-flight messages too, so it must be
+  // invalidated — conservatively for everyone, which only costs re-ships.
+  const std::size_t invalidated = queue.sent.size() + sent_all_.size();
+  if (faults_ != nullptr) faults_->stats().watermarks_invalidated += invalidated;
+  MH_OBS_COUNT("protocol.faults.watermarks_invalidated", invalidated);
+  queue.buckets.clear();
+  queue.sent.clear();
+  queue.sent_log.clear();
+  sent_all_.clear();
+}
+
+void Network::resync_ship(const Block& block, PartyId recipient, std::size_t slot) {
+  MH_REQUIRE(recipient < parties_);
+  push(recipient, block, slot);
+  record_recipient(recipient, block.hash, slot);
+  if (faults_ != nullptr) ++faults_->stats().resync_blocks;
+  MH_OBS_COUNT("protocol.faults.resync_blocks", 1);
 }
 
 std::vector<Block> Network::collect(PartyId recipient, std::size_t slot) {

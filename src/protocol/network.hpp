@@ -20,6 +20,15 @@
 // by scheduling order within the slot (the adversary orders a slot's
 // deliveries by choosing insertion time). Drivers that collect every slot —
 // the Simulation does — observe exactly the seed transport's order.
+//
+// Fault layer: with a faults::FaultInjector attached, every send consults it.
+// During an active fault window shipping takes the per-recipient path only
+// (drops and per-link extra delays make a round's coverage non-uniform, so
+// the all-recipient bound must not advance), dropped ships record no
+// watermark (later broadcasts re-ship the prefix), and a crash wipes the
+// recipient's volatile state — queued deliveries and watermarks — forcing a
+// re-sync (resync_ship) when the node restarts. With no injector attached
+// every code path below is byte-identical to the un-faulted transport.
 #pragma once
 
 #include <cstddef>
@@ -33,12 +42,23 @@
 
 namespace mh {
 
+namespace faults {
+class FaultInjector;
+struct LinkVerdict;
+}  // namespace faults
+
 class Network {
  public:
   Network(std::size_t parties, std::size_t delta);
 
   [[nodiscard]] std::size_t parties() const noexcept { return parties_; }
   [[nodiscard]] std::size_t delta() const noexcept { return delta_; }
+
+  /// Attach (or detach, with nullptr) the fault layer. The injector is
+  /// consulted on every send and outlives the Network (the Simulation owns
+  /// neither; the caller guarantees lifetime).
+  void attach_faults(faults::FaultInjector* faults) noexcept { faults_ = faults; }
+  [[nodiscard]] faults::FaultInjector* fault_injector() const noexcept { return faults_; }
 
   /// Honest broadcast at slot `sent_slot`; `delay[r]` in [0, delta] is the
   /// adversary's extra hold-back for recipient r (empty = no extra delay).
@@ -54,11 +74,25 @@ class Network {
   void broadcast_chain(const BlockTree& tree, const Block& block, std::size_t sent_slot,
                        const std::vector<std::size_t>& per_recipient_delay = {});
 
-  /// Adversarial targeted injection, visible to `recipient` at `visible_slot`.
+  /// Adversarial targeted injection, visible to `recipient` at `visible_slot`
+  /// (which cannot precede the block's own slot: the rushing adversary sees a
+  /// block the instant it exists, never before).
   void inject(const Block& block, PartyId recipient, std::size_t visible_slot);
 
   /// Adversarial injection to everyone at the given slot.
   void inject_all(const Block& block, std::size_t visible_slot);
+
+  /// Crash `recipient`: its undelivered buckets and chain-sync watermarks are
+  /// volatile endpoint state and are lost. The all-recipient bound covered
+  /// this recipient's wiped in-flight messages too, so it is invalidated as
+  /// well (for everyone — a dropped watermark only ever costs a re-ship).
+  void crash_recipient(PartyId recipient);
+
+  /// Re-sync delivery on heal/restart: schedule `block` for `recipient` at
+  /// the onset of `slot` and advance its watermark. Callers ship ancestors
+  /// first (or blocks whose ancestry the recipient already holds), keeping
+  /// the chain-complete contract.
+  void resync_ship(const Block& block, PartyId recipient, std::size_t slot);
 
   /// Deliveries for `recipient` due at the onset of `slot` (due bucket pops;
   /// see the ordering contract above).
@@ -95,10 +129,16 @@ class Network {
   /// Drop per-recipient watermarks whose due lies delta + 1 slots behind.
   void expire_watermarks(PartyId recipient, std::size_t slot);
   void push(PartyId recipient, const Block& block, std::size_t due);
+  /// Is a fault able to touch sends at `slot`? (Forces the per-recipient path.)
+  [[nodiscard]] bool fault_window(std::size_t slot) const noexcept;
+  /// Resolve one honest link's fault verdict; false = the ship is lost.
+  bool faulted_link(PartyId sender, PartyId recipient, std::size_t slot,
+                    faults::LinkVerdict* verdict);
 
   std::size_t parties_;
   std::size_t delta_;
-  std::vector<RecipientQueue> queues_;  // per recipient
+  faults::FaultInjector* faults_ = nullptr;  // may be null (the common case)
+  std::vector<RecipientQueue> queues_;       // per recipient
   /// Chain-complete watermark valid for EVERY recipient (bound on the max of
   /// the per-recipient dues); keeps the uniform-broadcast fast path O(1).
   std::unordered_map<BlockHash, std::size_t> sent_all_;

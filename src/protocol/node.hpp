@@ -34,6 +34,18 @@ class HonestNode {
   /// Parent-unknown blocks currently waiting for their ancestry.
   [[nodiscard]] std::size_t buffered_orphans() const noexcept { return orphans_.size(); }
 
+  /// Has this node seen the block at all — admitted to the view OR buffered
+  /// as an orphan?
+  [[nodiscard]] bool knows(BlockHash hash) const {
+    return tree_.contains(hash) || orphans_.contains(hash);
+  }
+
+  /// Crash: the orphan buffer is volatile and is lost; the block tree is the
+  /// node's persisted state and survives. The restart path is crash() + the
+  /// transport's re-sync shipping the missing public suffix ancestors-first,
+  /// which receive() drains like any delivery.
+  void crash() noexcept { orphans_.clear(); }
+
  private:
   PartyId id_;
   TieBreak rule_;

@@ -8,12 +8,24 @@
 namespace mh {
 
 Simulation::Simulation(const LeaderSchedule& schedule, SimulationConfig config,
-                       std::size_t delta, Adversary* adversary)
+                       std::size_t delta, Adversary* adversary,
+                       faults::FaultInjector* faults)
     : schedule_(schedule),
       config_(config),
       network_(schedule.honest_parties(), delta),
       adversary_(adversary),
+      faults_(faults),
       rng_(config.seed) {
+  if (faults_) {
+    MH_REQUIRE_MSG(faults_->parties() == schedule.honest_parties() &&
+                       faults_->horizon() == schedule.horizon(),
+                   "fault injector was validated against a different execution shape");
+    // An empty plan is the null hypothesis: no query can ever fire, so skip
+    // the per-delivery and per-slot injector consultations entirely (the E16
+    // overhead gate holds the empty-plan run within 2% of the bare one).
+    fault_active_ = !faults_->plan().empty();
+    if (fault_active_) network_.attach_faults(faults_);
+  }
   nodes_.reserve(schedule.honest_parties());
   for (PartyId p = 0; p < schedule.honest_parties(); ++p)
     nodes_.emplace_back(p, config.tie_break, &schedule_);
@@ -55,6 +67,9 @@ void Simulation::deliver_due(std::size_t slot) {
   // per-(node, slot) hooks here run millions of times on the E14 scale cells.
   MH_OBS_ONLY(std::size_t delivered = 0;)
   for (HonestNode& node : nodes_) {
+    // A crashed endpoint neither collects nor processes; its queue was wiped
+    // at crash time and stays empty while it is down.
+    if (fault_active_ && faults_->is_down(node.id(), slot)) continue;
     network_.collect_into(node.id(), slot, &delivery_scratch_);
     MH_OBS_ONLY(delivered += delivery_scratch_.size();)
     for (const Block& b : delivery_scratch_) {
@@ -63,7 +78,25 @@ void Simulation::deliver_due(std::size_t slot) {
       // Every block the node admitted — including orphans unblocked by this
       // delivery — joins the public tree (the seed dropped flushed orphans,
       // hiding real public-fork disagreements).
-      for (const Block& a : accepted_scratch_) public_add(a);
+      for (const Block& a : accepted_scratch_) {
+        // Observed Delta: the max delay until a node could first ADOPT an
+        // honest block — chain-complete acceptance, not raw arrival. (A
+        // partial leak parks a block in the orphan buffer where it extends
+        // nothing; grading the run at arrival delay undercuts the fork
+        // projection — F4 fails at an observed Delta the execution never
+        // actually satisfied.) Down slots are discounted, not the whole
+        // window: a crashed endpoint cannot receive (and the restart re-sync
+        // delivers promptly), but every UP slot the block went undelivered is
+        // the network's degradation — a later unrelated crash must not excuse
+        // it. The ratchet precheck keeps slot - a.slot - 1 from underflowing
+        // on rushed injections.
+        if (fault_active_ && a.issuer != kAdversary && slot > a.slot + 1 + observed_delta_) {
+          const std::size_t raw = slot - a.slot - 1;
+          const std::size_t down = faults_->down_slots_in(node.id(), a.slot + 1, slot);
+          if (raw > down + observed_delta_) observed_delta_ = raw - down;
+        }
+        public_add(a);
+      }
     }
   }
   MH_OBS_ONLY(if (delivered != 0) {
@@ -75,6 +108,10 @@ void Simulation::deliver_due(std::size_t slot) {
 void Simulation::step() {
   const std::size_t t = next_slot_++;
   MH_OBS_COUNT("protocol.sim.slots", 1);
+
+  // 0. Fault events land at the slot onset, BEFORE deliveries and forging: a
+  //    restarted node is fully re-synced before it acts.
+  if (fault_active_) apply_fault_events(t);
 
   // 1. Deliveries due at the onset of slot t, then settlement observations.
   deliver_due(t);
@@ -92,6 +129,14 @@ void Simulation::step() {
   //    slot-t block is visible to the others.
   std::vector<Block> forged;
   for (PartyId leader : schedule_.leaders(t).honest) {
+    // A crashed leader forges nothing: the slot loses this leadership (the
+    // oracle projects the matching "effective" characteristic string).
+    if (fault_active_ && faults_->is_down(leader, t)) {
+      ++leaderships_skipped_;
+      ++faults_->stats().leaderships_skipped;
+      MH_OBS_COUNT("protocol.faults.leaderships_skipped", 1);
+      continue;
+    }
     HonestNode& node = nodes_[leader];
     BlockHash parent = node.best_head();
     if (config_.tie_break == TieBreak::AdversarialOrder && adversary_) {
@@ -125,6 +170,80 @@ void Simulation::step() {
     if (adversary_) delays = adversary_->delivery_delays(block, t, *this);
     network_.broadcast_chain(global_tree_, block, t, delays);
   }
+}
+
+void Simulation::apply_fault_events(std::size_t slot) {
+  faults_->crashes_at(slot, &fault_scratch_);
+  for (const PartyId p : fault_scratch_) {
+    network_.crash_recipient(p);
+    nodes_[p].crash();
+    ++faults_->stats().crashes;
+    MH_OBS_COUNT("protocol.faults.crashes", 1);
+  }
+  faults_->restarts_at(slot, &fault_scratch_);
+  for (const PartyId p : fault_scratch_) {
+    ++faults_->stats().restarts;
+    MH_OBS_COUNT("protocol.faults.restarts", 1);
+    resync_node(p, slot);
+  }
+  const std::size_t heals = faults_->heals_at(slot);
+  if (heals != 0) {
+    faults_->stats().partitions_healed += heals;
+    MH_OBS_COUNT("protocol.faults.partitions_healed", heals);
+    // On heal every up party re-syncs: cross-group ships were dropped while
+    // the partition stood, and no watermark claims they were scheduled, so
+    // the diff against the public view is exactly what each side missed.
+    for (const HonestNode& node : nodes_)
+      if (!faults_->is_down(node.id(), slot)) resync_node(node.id(), slot);
+  }
+  MH_OBS_GAUGE_SET("protocol.faults.partitions_active", faults_->partitions_active(slot));
+}
+
+void Simulation::resync_node(PartyId party, std::size_t slot) {
+  // The public view holds everything any honest node ever accepted — a
+  // superset of every individual view, and in particular of everything that
+  // was in flight toward `party` when it crashed (forgers self-accept, so a
+  // broadcast block is public from its forge slot). Its arrival order is
+  // parents-first, so shipping the missing suffix in that order keeps the
+  // ancestors-first contract; blocks the node already holds are skipped, so
+  // the re-ship is bounded by what was actually lost.
+  const HonestNode& node = nodes_[party];
+  for (const BlockHash h : public_tree_.arrival_order()) {
+    if (h == genesis_block().hash || node.tree().contains(h)) continue;
+    network_.resync_ship(public_tree_.block(h), party, slot);
+  }
+}
+
+FaultReport Simulation::fault_report() const {
+  FaultReport report;
+  if (!faults_) return report;
+  report.faulted = true;
+  report.observed_delta = observed_delta_;
+  report.leaderships_skipped = leaderships_skipped_;
+  report.stats = faults_->stats();
+  // Non-delivery sweep: an honest block whose delivery window closed within
+  // the run must have reached every node it could reach — one that never
+  // crossed an unhealed partition (or fell to a link drop on a branch no one
+  // extended) makes the realized delay infinite, not merely large. Blocks
+  // delivered before a later crash persist in the tree, so only windows
+  // intersecting down-time are excused.
+  const std::size_t last_onset = next_slot_;  // deliveries are flushed up to here
+  for (const Block& b : all_blocks_) {
+    if (b.issuer == kAdversary || b.hash == genesis_block().hash) continue;
+    if (b.slot + 1 + network_.delta() > last_onset) continue;  // window still open
+    for (const HonestNode& node : nodes_) {
+      if (node.id() == b.issuer) continue;
+      if (faults_->is_down(node.id(), last_onset)) continue;  // down at end: no claim
+      if (faults_->down_in_window(node.id(), b.slot + 1, last_onset)) continue;
+      // Adoptability, not arrival: a block parked forever in the orphan
+      // buffer (ancestry lost to a drop) was "delivered" but extends nothing.
+      if (!node.tree().contains(b.hash)) {
+        report.delivery_unbounded = true;
+        return report;
+      }
+    }
+  }
+  return report;
 }
 
 Block Simulation::mint_adversarial(BlockHash parent, std::size_t slot, std::uint64_t payload) {
@@ -174,8 +293,13 @@ BlockHash Simulation::prefix_at(BlockHash head, std::size_t s) const {
 
 void Simulation::check_watches(std::size_t onset_slot) {
   if (watches_.empty()) return;
+  // Crashed nodes are not observers: their (stale) views cannot be handed to
+  // a settlement client until they restart and re-sync.
   std::size_t best = 0;
-  for (const HonestNode& node : nodes_) best = std::max(best, node.best_length());
+  for (const HonestNode& node : nodes_) {
+    if (fault_active_ && faults_->is_down(node.id(), onset_slot)) continue;
+    best = std::max(best, node.best_length());
+  }
 
   for (Watch& watch : watches_) {
     if (watch.violated) continue;
@@ -183,6 +307,7 @@ void Simulation::check_watches(std::size_t onset_slot) {
     // game begins its checks at forks covering slot s + k.
     if (onset_slot < watch.s + watch.k + 1) continue;
     for (const HonestNode& node : nodes_) {
+      if (fault_active_ && faults_->is_down(node.id(), onset_slot)) continue;
       if (node.best_length() != best) continue;
       const BlockHash prefix = prefix_at(node.best_head(), watch.s);
       if (!watch.has_record) {
@@ -199,7 +324,11 @@ void Simulation::check_watches(std::size_t onset_slot) {
 std::vector<BlockHash> Simulation::distinct_best_heads() const {
   std::vector<BlockHash> heads;
   heads.reserve(nodes_.size());
-  for (const HonestNode& node : nodes_) heads.push_back(node.best_head());
+  for (const HonestNode& node : nodes_) {
+    // A crashed node holds no adoptable view right now.
+    if (fault_active_ && faults_->is_down(node.id(), current_slot())) continue;
+    heads.push_back(node.best_head());
+  }
   std::sort(heads.begin(), heads.end());
   heads.erase(std::unique(heads.begin(), heads.end()), heads.end());
   return heads;

@@ -18,6 +18,7 @@
 #include <memory>
 #include <vector>
 
+#include "protocol/faults/injector.hpp"
 #include "protocol/leader.hpp"
 #include "protocol/network.hpp"
 #include "protocol/node.hpp"
@@ -51,11 +52,34 @@ struct SimulationConfig {
   std::uint64_t seed = 42;
 };
 
+/// What the fault layer observed over one faulted execution: the realized
+/// synchrony bound plus the recovery accounting. `observed_delta` is the max
+/// delay until a node could first ADOPT an honest block (chain-complete
+/// acceptance — raw arrival undercounts: a partially-leaked block sits in the
+/// orphan buffer extending nothing, and the observed-Delta fork projection
+/// would then claim a synchrony the execution never had). Slots the recipient
+/// spent crashed are discounted from the delay — a down endpoint cannot
+/// receive and the restart re-sync delivers promptly — but only those slots:
+/// a crash late in the window must not excuse the up slots during which the
+/// network simply failed to deliver. `delivery_unbounded` flags
+/// an honest block some up node could never adopt at all (an unhealed
+/// partition or a link drop on a dead branch): observed Delta is infinite.
+struct FaultReport {
+  bool faulted = false;
+  std::size_t observed_delta = 0;
+  bool delivery_unbounded = false;
+  std::size_t leaderships_skipped = 0;
+  faults::FaultStats stats;
+};
+
 class Simulation {
  public:
-  /// `delta` is the network delay bound (0 = synchronous).
+  /// `delta` is the network delay bound (0 = synchronous). `faults`, when
+  /// non-null, perturbs the execution per its FaultPlan (the injector must
+  /// outlive the Simulation); fault events apply at slot onsets, before
+  /// deliveries and forging.
   Simulation(const LeaderSchedule& schedule, SimulationConfig config, std::size_t delta,
-             Adversary* adversary);
+             Adversary* adversary, faults::FaultInjector* faults = nullptr);
 
   void run();                          ///< all slots 1..horizon
   void run_until(std::size_t slot);    ///< slots up to and including `slot`
@@ -101,9 +125,19 @@ class Simulation {
   /// Max over pairs of honest chains of l(t1) - l(common ancestor).
   [[nodiscard]] std::size_t observed_slot_divergence() const;
 
+  /// The fault layer's end-of-run audit (trivial when no injector attached):
+  /// runs the non-delivery sweep lazily, so call it after the run completes.
+  [[nodiscard]] FaultReport fault_report() const;
+
  private:
   void step();
   void deliver_due(std::size_t slot);
+  /// Crash / restart / heal events due at the onset of `slot`, plus the
+  /// re-sync shipping they trigger.
+  void apply_fault_events(std::size_t slot);
+  /// Ship `party` every public-view block missing from its tree, ancestors
+  /// first (the public arrival order is parents-first), due at `slot`.
+  void resync_node(PartyId party, std::size_t slot);
   void check_watches(std::size_t onset_slot);
   /// Mirror a node-accepted block into the public tree; out-of-order arrivals
   /// are buffered and flushed like a node's own orphan set.
@@ -124,8 +158,13 @@ class Simulation {
   const LeaderSchedule& schedule_;
   SimulationConfig config_;
   Network network_;
-  Adversary* adversary_;  // may be null
+  Adversary* adversary_;               // may be null
+  faults::FaultInjector* faults_;      // may be null (the common case)
+  bool fault_active_ = false;          ///< faults_ set AND its plan non-empty
   std::vector<HonestNode> nodes_;
+  std::size_t observed_delta_ = 0;     ///< max counted honest acceptance delay
+  std::size_t leaderships_skipped_ = 0;
+  std::vector<PartyId> fault_scratch_;  ///< crash/restart event list reuse
   BlockTree global_tree_;
   BlockTree public_tree_;  ///< blocks accepted by at least one honest node
   OrphanBuffer public_orphans_;

@@ -2,8 +2,10 @@
 
 #include <chrono>
 #include <memory>
+#include <optional>
 
 #include "protocol/adversary.hpp"
+#include "protocol/faults/injector.hpp"
 
 namespace mh {
 
@@ -11,13 +13,16 @@ namespace {
 
 template <typename MakeAdversary>
 TransportProbeOutcome run_probe(std::size_t parties, std::size_t horizon, std::uint64_t seed,
-                                std::size_t delta, MakeAdversary&& make_adversary) {
+                                std::size_t delta, MakeAdversary&& make_adversary,
+                                const faults::FaultPlan* plan = nullptr) {
   Rng rng(seed);
   const LeaderSchedule schedule =
       LeaderSchedule::from_symbol_law(kTransportProbeLaw, horizon, parties, rng);
   auto adversary = make_adversary(rng());
+  std::optional<faults::FaultInjector> injector;
+  if (plan != nullptr) injector.emplace(*plan, parties, horizon);
   Simulation sim(schedule, SimulationConfig{TieBreak::AdversarialOrder, rng()}, delta,
-                 adversary.get());
+                 adversary.get(), injector ? &*injector : nullptr);
   const auto start = std::chrono::steady_clock::now();
   sim.run();
   TransportProbeOutcome out;
@@ -42,6 +47,13 @@ TransportProbeOutcome balance_transport_probe(std::size_t parties, std::size_t h
                                               std::uint64_t seed) {
   return run_probe(parties, horizon, seed, 0,
                    [](std::uint64_t) { return std::make_unique<BalanceAttacker>(); });
+}
+
+TransportProbeOutcome faulted_balance_transport_probe(std::size_t parties, std::size_t horizon,
+                                                      std::uint64_t seed,
+                                                      const faults::FaultPlan& plan) {
+  return run_probe(parties, horizon, seed, 0,
+                   [](std::uint64_t) { return std::make_unique<BalanceAttacker>(); }, &plan);
 }
 
 TransportProbeOutcome randomized_transport_probe(std::size_t parties, std::size_t horizon,

@@ -14,6 +14,7 @@
 #include <cstdint>
 
 #include "chars/bernoulli.hpp"
+#include "protocol/faults/plan.hpp"
 
 namespace mh {
 
@@ -46,6 +47,14 @@ struct TransportProbeOutcome {
 /// Balance attack at Delta = 0 (the E14 acceptance cell shape).
 TransportProbeOutcome balance_transport_probe(std::size_t parties, std::size_t horizon,
                                               std::uint64_t seed);
+
+/// The balance probe with a FaultInjector attached for `plan`. With an EMPTY
+/// plan this is the fault layer's null hypothesis: the digest must equal the
+/// bare probe's exactly (no perturbed draw, no reordered delivery) and the
+/// wall-clock overhead is what bench_faults gates at <= 2% on the E16 cell.
+TransportProbeOutcome faulted_balance_transport_probe(std::size_t parties, std::size_t horizon,
+                                                      std::uint64_t seed,
+                                                      const faults::FaultPlan& plan);
 
 /// Randomized adversary (Delta-delays, partial leaks, orphan flushes).
 TransportProbeOutcome randomized_transport_probe(std::size_t parties, std::size_t horizon,

@@ -5,51 +5,103 @@
 namespace mh {
 namespace {
 
+// Tests drain through the allocation-free entry point the simulation hot loop
+// uses; one dedicated test below covers the allocating convenience overload.
+std::vector<Block> drain(Network& net, PartyId recipient, std::size_t slot) {
+  std::vector<Block> due;
+  net.collect_into(recipient, slot, &due);
+  return due;
+}
+
 TEST(Network, SynchronousBroadcastArrivesNextSlot) {
   Network net(3, 0);
   const Block b = make_block(genesis_block().hash, 1, 0, 0);
   net.broadcast(b, 1);
-  EXPECT_TRUE(net.collect(0, 1).empty());
-  const auto due = net.collect(0, 2);
+  EXPECT_TRUE(drain(net, 0, 1).empty());
+  const auto due = drain(net, 0, 2);
   ASSERT_EQ(due.size(), 1u);
   EXPECT_EQ(due[0].hash, b.hash);
-  EXPECT_TRUE(net.collect(0, 3).empty());  // consumed
+  EXPECT_TRUE(drain(net, 0, 3).empty());  // consumed
   // Other recipients get their own copies.
-  EXPECT_EQ(net.collect(1, 2).size(), 1u);
-  EXPECT_EQ(net.collect(2, 2).size(), 1u);
+  EXPECT_EQ(drain(net, 1, 2).size(), 1u);
+  EXPECT_EQ(drain(net, 2, 2).size(), 1u);
+}
+
+TEST(Network, AllocatingCollectDelegatesToCollectInto) {
+  Network net(2, 0);
+  const Block b = make_block(genesis_block().hash, 1, 0, 0);
+  net.broadcast(b, 1);
+  const auto allocated = net.collect(0, 2);  // convenience overload
+  ASSERT_EQ(allocated.size(), 1u);
+  EXPECT_EQ(allocated[0].hash, b.hash);
+  // Same transport state through collect_into, and the buffer is cleared
+  // before filling (stale contents must not leak into a delivery round).
+  std::vector<Block> buf(7, genesis_block());
+  net.collect_into(1, 2, &buf);
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0].hash, b.hash);
 }
 
 TEST(Network, DelaysBoundedByDelta) {
   Network net(2, 3);
   const Block b = make_block(genesis_block().hash, 1, 0, 0);
   net.broadcast(b, 1, {0, 3});
-  EXPECT_EQ(net.collect(0, 2).size(), 1u);
-  EXPECT_TRUE(net.collect(1, 2).empty());
-  EXPECT_TRUE(net.collect(1, 4).empty());
-  EXPECT_EQ(net.collect(1, 5).size(), 1u);
+  EXPECT_EQ(drain(net, 0, 2).size(), 1u);
+  EXPECT_TRUE(drain(net, 1, 2).empty());
+  EXPECT_TRUE(drain(net, 1, 4).empty());
+  EXPECT_EQ(drain(net, 1, 5).size(), 1u);
 }
 
 TEST(Network, RejectsDelaysPastDelta) {
   Network net(2, 1);
+  BlockTree tree;
   const Block b = make_block(genesis_block().hash, 1, 0, 0);
+  tree.add(b);
   EXPECT_THROW(net.broadcast(b, 1, {0, 2}), std::invalid_argument);
   EXPECT_THROW(net.broadcast(b, 1, {0}), std::invalid_argument);  // wrong size
+  EXPECT_THROW(net.broadcast_chain(tree, b, 1, {2, 0}), std::invalid_argument);
+  EXPECT_THROW(net.broadcast_chain(tree, b, 1, {0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Network, RejectsOutOfRangeRecipients) {
+  Network net(2, 0);
+  const Block b = make_block(genesis_block().hash, 1, kAdversary, 0);
+  EXPECT_THROW(net.inject(b, 2, 1), std::invalid_argument);
+  EXPECT_THROW(net.inject(b, kAdversary, 1), std::invalid_argument);
+  std::vector<Block> buf;
+  EXPECT_THROW(net.collect_into(2, 1, &buf), std::invalid_argument);
+}
+
+TEST(Network, RejectsNonMonotoneSlots) {
+  // A block sent or made visible before its own slot would let the adversary
+  // rewrite delivery history; every entry point rejects it up front.
+  Network net(2, 1);
+  BlockTree tree;
+  const Block b = make_block(genesis_block().hash, 3, 0, 0);
+  tree.add(b);
+  EXPECT_THROW(net.broadcast(b, 2), std::invalid_argument);
+  EXPECT_THROW(net.broadcast_chain(tree, b, 2), std::invalid_argument);
+  EXPECT_THROW(net.inject(b, 0, 2), std::invalid_argument);
+  EXPECT_THROW(net.inject_all(b, 2), std::invalid_argument);
+  // Sending at exactly the block's slot is the boundary and is legal.
+  net.broadcast(b, 3);
+  EXPECT_EQ(drain(net, 0, 4).size(), 1u);
 }
 
 TEST(Network, InjectionTargetsOneRecipient) {
   Network net(3, 0);
   const Block b = make_block(genesis_block().hash, 2, kAdversary, 0);
   net.inject(b, 1, 4);
-  EXPECT_TRUE(net.collect(0, 4).empty());
-  EXPECT_EQ(net.collect(1, 4).size(), 1u);
-  EXPECT_TRUE(net.collect(2, 4).empty());
+  EXPECT_TRUE(drain(net, 0, 4).empty());
+  EXPECT_EQ(drain(net, 1, 4).size(), 1u);
+  EXPECT_TRUE(drain(net, 2, 4).empty());
 }
 
 TEST(Network, InjectAllReachesEveryone) {
   Network net(3, 0);
   const Block b = make_block(genesis_block().hash, 2, kAdversary, 0);
   net.inject_all(b, 3);
-  for (PartyId p = 0; p < 3; ++p) EXPECT_EQ(net.collect(p, 3).size(), 1u);
+  for (PartyId p = 0; p < 3; ++p) EXPECT_EQ(drain(net, p, 3).size(), 1u);
 }
 
 TEST(Network, LateCollectionDeliversBacklog) {
@@ -58,7 +110,7 @@ TEST(Network, LateCollectionDeliversBacklog) {
   const Block b2 = make_block(b1.hash, 2, 0, 0);
   net.broadcast(b1, 1);
   net.broadcast(b2, 2);
-  const auto due = net.collect(0, 5);  // collected late: both blocks due
+  const auto due = drain(net, 0, 5);  // collected late: both blocks due
   EXPECT_EQ(due.size(), 2u);
 }
 
@@ -72,7 +124,7 @@ TEST(Network, BucketedDeliveryOrdersBySlotThenScheduling) {
   net.inject(b3, 0, 3);  // scheduled first but due later
   net.inject(b2, 0, 2);
   net.inject(b1, 0, 2);
-  const auto due = net.collect(0, 3);
+  const auto due = drain(net, 0, 3);
   ASSERT_EQ(due.size(), 3u);
   EXPECT_EQ(due[0].hash, b2.hash);
   EXPECT_EQ(due[1].hash, b1.hash);
@@ -88,7 +140,7 @@ TEST(Network, BroadcastChainShipsMissingAncestorsThenOnlyNews) {
   tree.add(b);
   // The forger never shipped a: the chain sync ships [a, b] ancestors-first.
   net.broadcast_chain(tree, b, 2);
-  auto due = net.collect(0, 3);
+  auto due = drain(net, 0, 3);
   ASSERT_EQ(due.size(), 2u);
   EXPECT_EQ(due[0].hash, a.hash);
   EXPECT_EQ(due[1].hash, b.hash);
@@ -96,11 +148,11 @@ TEST(Network, BroadcastChainShipsMissingAncestorsThenOnlyNews) {
   const Block c = make_block(b.hash, 3, 0, 0);
   tree.add(c);
   net.broadcast_chain(tree, c, 3);
-  due = net.collect(0, 4);
+  due = drain(net, 0, 4);
   ASSERT_EQ(due.size(), 1u);
   EXPECT_EQ(due[0].hash, c.hash);
   // A recipient collecting late still sees the whole backlog, chains first.
-  due = net.collect(1, 4);
+  due = drain(net, 1, 4);
   ASSERT_EQ(due.size(), 3u);
   EXPECT_EQ(due[0].hash, a.hash);
   EXPECT_EQ(due[1].hash, b.hash);
@@ -118,13 +170,13 @@ TEST(Network, BroadcastChainReShipsAncestorsPastDelayedCopies) {
   net.broadcast_chain(tree, a, 1, {0, 2});  // recipient 1: due slot 4
   tree.add(b);
   net.broadcast_chain(tree, b, 2, {0, 0});  // due slot 3 — overtakes a
-  EXPECT_EQ(net.collect(0, 2).size(), 1u);  // recipient 0 already has a
-  const auto due = net.collect(1, 3);
+  EXPECT_EQ(drain(net, 0, 2).size(), 1u);  // recipient 0 already has a
+  const auto due = drain(net, 1, 3);
   ASSERT_EQ(due.size(), 2u);  // a re-shipped ahead of b
   EXPECT_EQ(due[0].hash, a.hash);
   EXPECT_EQ(due[1].hash, b.hash);
   // The original delayed copy still lands (a duplicate, harmless).
-  EXPECT_EQ(net.collect(1, 4).size(), 1u);
+  EXPECT_EQ(drain(net, 1, 4).size(), 1u);
 }
 
 TEST(Network, InjectionAdvancesWatermarkOnlyWhenChainComplete) {
@@ -140,10 +192,10 @@ TEST(Network, InjectionAdvancesWatermarkOnlyWhenChainComplete) {
   // Partial adversarial disclosure: c alone, parent never shipped. The
   // watermark must NOT count it, or honest rebroadcasts would skip the
   // prefix and orphan c forever.
-  net.inject(c, 0, 1);
-  EXPECT_EQ(net.collect(0, 1).size(), 1u);
+  net.inject(c, 0, 3);
+  EXPECT_EQ(drain(net, 0, 3).size(), 1u);
   net.broadcast_chain(tree, c, 3);
-  auto due = net.collect(0, 4);
+  auto due = drain(net, 0, 4);
   ASSERT_EQ(due.size(), 3u);  // full chain re-shipped, ancestors first
   EXPECT_EQ(due[0].hash, a.hash);
   EXPECT_EQ(due[1].hash, b.hash);
@@ -153,10 +205,10 @@ TEST(Network, InjectionAdvancesWatermarkOnlyWhenChainComplete) {
   // publishes a -> b in order, forging on b ships only the new block.
   Network net2(1, 0);
   net2.inject_all(a, 1);
-  net2.inject_all(b, 1);
-  net2.broadcast_chain(tree, c, 1);
-  EXPECT_EQ(net2.collect(0, 1).size(), 2u);  // a, b
-  due = net2.collect(0, 2);
+  net2.inject_all(b, 2);
+  net2.broadcast_chain(tree, c, 3);
+  EXPECT_EQ(drain(net2, 0, 2).size(), 2u);  // a, b
+  due = drain(net2, 0, 4);
   ASSERT_EQ(due.size(), 1u);  // just c: the injected prefix is covered
   EXPECT_EQ(due[0].hash, c.hash);
 }
@@ -167,7 +219,7 @@ TEST(Network, PreservesSchedulingOrder) {
   const Block b2 = make_block(genesis_block().hash, 1, 1, 2);
   net.inject(b1, 0, 2);
   net.inject(b2, 0, 2);
-  const auto due = net.collect(0, 2);
+  const auto due = drain(net, 0, 2);
   ASSERT_EQ(due.size(), 2u);
   EXPECT_EQ(due[0].hash, b1.hash);
   EXPECT_EQ(due[1].hash, b2.hash);

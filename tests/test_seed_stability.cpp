@@ -68,5 +68,21 @@ TEST(SeedStability, ScenarioMatrixFirstVerdictsArePinned) {
   EXPECT_EQ(first_run_codes(result), ".aaa.aaaaVaaaaaV.aaa.aaaaaaa.aaaaaaa");
 }
 
+TEST(SeedStability, FaultBandFirstVerdictsArePinned) {
+  // The chaos band's fingerprint at its stock seed 6101, row-major in
+  // (fault, tie, delta, strategy, law). Beyond the un-faulted alphabet, 'd'
+  // marks a degraded run whose observed-Delta projection held and 'u' an
+  // unbounded one; '!' must never appear. This pins the FaultPlan samplers
+  // and the whole injector/transport/re-sync pipeline: any drift in their
+  // draw order or fault application shows up here first.
+  oracle::MatrixConfig config = oracle::fault_band_config();
+  config.runs = 2;
+  config.mc_samples = 500;
+  const oracle::MatrixResult result = oracle::run_scenario_matrix(config);
+  EXPECT_EQ(first_run_codes(result),
+            "aV.aVVaa.aaaaaaaad.dadad.dadaddaaaaaaaaaaaaaaaaa"
+            "uuaudVaduuduuuau.VdddVddddddaddd.uduuuuddududuuu");
+}
+
 }  // namespace
 }  // namespace mh
