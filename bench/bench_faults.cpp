@@ -31,12 +31,6 @@
 
 namespace {
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  return static_cast<std::size_t>(std::strtoull(raw, nullptr, 10));
-}
-
 mh::oracle::MatrixConfig band_config() {
   mh::oracle::MatrixConfig config = mh::oracle::fault_band_config();
   config.threads = mh::engine::threads_from_env();
@@ -129,7 +123,7 @@ bool chaos_band_report() {
 }
 
 bool overhead_gate_report() {
-  const std::size_t reps = env_size("MH_FAULTS_OVERHEAD_REPS", 3);
+  const std::size_t reps = mh::env::size("MH_FAULTS_OVERHEAD_REPS", 3, 1);
   if (reps == 0) {
     std::printf("overhead gate: skipped (MH_FAULTS_OVERHEAD_REPS=0)\n\n");
     return true;

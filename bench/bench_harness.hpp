@@ -31,6 +31,7 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace mh::bench {
 
@@ -69,11 +70,9 @@ struct MainOptions {
   std::function<obs::Json()> results{};
 };
 
-/// True when the environment variable is set to anything but "" or "0".
-inline bool env_flag(const char* name) {
-  const char* raw = std::getenv(name);
-  return raw != nullptr && *raw != '\0' && std::strcmp(raw, "0") != 0;
-}
+/// Strict boolean env knob — the shared parser in support/env.hpp, which
+/// rejects malformed values instead of treating "false"/"off" as enabled.
+inline bool env_flag(const char* name) { return ::mh::env::flag(name); }
 
 /// The shared main(): report, timed benchmarks, metrics dump + JSON artifact.
 /// `bench_name` is the artifact name stamped into MH_BENCH_JSON output.

@@ -28,24 +28,6 @@
 
 namespace {
 
-std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0' || parsed == 0) return fallback;
-  return static_cast<std::size_t>(parsed);
-}
-
-double env_double(const char* name, double fallback) {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr || *raw == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(raw, &end);
-  if (end == raw || *end != '\0' || parsed <= 0.0) return fallback;
-  return parsed;
-}
-
 struct OverheadOutcome {
   double off_ms = 0.0;  ///< median sim wall-clock, recording off
   double on_ms = 0.0;   ///< median sim wall-clock, recording on
@@ -61,10 +43,10 @@ struct OverheadOutcome {
 OverheadOutcome g_outcome;
 
 bool overhead_report() {
-  const std::size_t parties = env_size("MH_OBS_BENCH_PARTIES", 256);
-  const std::size_t horizon = env_size("MH_OBS_BENCH_HORIZON", 10000);
-  const std::size_t reps = env_size("MH_OBS_BENCH_REPS", 3);
-  const double max_overhead_pct = env_double("MH_OBS_MAX_OVERHEAD_PCT", 2.0);
+  const std::size_t parties = mh::env::size("MH_OBS_BENCH_PARTIES", 256, 1);
+  const std::size_t horizon = mh::env::size("MH_OBS_BENCH_HORIZON", 10000, 1);
+  const std::size_t reps = mh::env::size("MH_OBS_BENCH_REPS", 3, 1);
+  const double max_overhead_pct = mh::env::positive_number("MH_OBS_MAX_OVERHEAD_PCT", 2.0);
   constexpr std::uint64_t kSeed = 20240914;
 
   // The harness may have force-enabled recording for --list-metrics; restore

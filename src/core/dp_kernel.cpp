@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/simd.hpp"
 #include "obs/obs.hpp"
 #include "support/check.hpp"
 
@@ -120,6 +121,7 @@ void BandedDp<Scalar>::step(Scalar pA, Scalar ph, Scalar pH, std::ptrdiff_t slo_
       // order (both collapse to r' = 0).
       const Scalar* r0 = row_ptr(cur_, 0);
       const Scalar* r1 = row_ptr(cur_, 1);
+      MH_SIMD_LOOP
       for (std::ptrdiff_t s = lo; s <= -2; ++s) {
         const Scalar c0 = r0[s + 1];
         Scalar v = ph * c0;
@@ -188,12 +190,15 @@ void BandedDp<Scalar>::step(Scalar pA, Scalar ph, Scalar pH, std::ptrdiff_t slo_
 
     if (!top) {
       // Bulk negative columns [lo, min(hi, -2)]: contiguous gather over s,
-      // the vectorizable hot loop. The (at most two) cells below sA lack the
-      // A-term; peel them off first.
-      std::ptrdiff_t s = lo;
+      // the SIMD hot loop (pure element-wise assignments; the per-element
+      // add order is untouched, so vectorization shifts no bits). The (at
+      // most two) cells below sA lack the A-term; peel them off first.
       const std::ptrdiff_t neg_end = std::min<std::ptrdiff_t>(hi, -2);
-      for (; s <= neg_end && s < sA; ++s) out[s] = cell(s);
-      for (; s <= neg_end; ++s) {
+      const std::ptrdiff_t peel_end = std::min(neg_end, sA - 1);
+      for (std::ptrdiff_t s = lo; s <= peel_end; ++s) out[s] = cell(s);
+      const std::ptrdiff_t neg_lo = std::max(lo, sA);
+      MH_SIMD_LOOP
+      for (std::ptrdiff_t s = neg_lo; s <= neg_end; ++s) {
         Scalar v = pA * a[s - 1];
         const Scalar bb = b[s + 1];
         v += ph * bb;
@@ -201,9 +206,11 @@ void BandedDp<Scalar>::step(Scalar pA, Scalar ph, Scalar pH, std::ptrdiff_t slo_
         out[s] = v;
       }
       // The two pinning-special columns s' in {-1, 0}.
-      for (s = std::max<std::ptrdiff_t>(lo, -1); s <= 0; ++s) out[s] = cell(s);
+      for (std::ptrdiff_t s = std::max<std::ptrdiff_t>(lo, -1); s <= 0; ++s) out[s] = cell(s);
       // Bulk positive columns [1, hi]: sA <= 1 always, so the A-term applies.
-      for (s = std::max<std::ptrdiff_t>(lo, 1); s <= hi; ++s) {
+      const std::ptrdiff_t pos_lo = std::max<std::ptrdiff_t>(lo, 1);
+      MH_SIMD_LOOP
+      for (std::ptrdiff_t s = pos_lo; s <= hi; ++s) {
         Scalar v = pA * a[s - 1];
         const Scalar bb = b[s + 1];
         v += ph * bb;

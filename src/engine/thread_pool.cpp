@@ -7,6 +7,7 @@
 
 #include "obs/obs.hpp"
 #include "support/check.hpp"
+#include "support/env.hpp"
 
 namespace mh::engine {
 
@@ -19,16 +20,8 @@ std::size_t resolve_threads(std::size_t threads) noexcept {
   return threads == 0 ? default_threads() : threads;
 }
 
-std::size_t threads_from_env(std::size_t fallback) noexcept {
-  const char* raw = std::getenv("MH_THREADS");
-  if (raw == nullptr || *raw == '\0') return fallback;
-  // strtoull would wrap "-1" to 2^64-1; reject anything but plain digits.
-  for (const char* c = raw; *c != '\0'; ++c)
-    if (*c < '0' || *c > '9') return fallback;
-  char* end = nullptr;
-  const unsigned long long parsed = std::strtoull(raw, &end, 10);
-  if (end == raw || *end != '\0') return fallback;
-  return static_cast<std::size_t>(parsed);
+std::size_t threads_from_env(std::size_t fallback) {
+  return env::size("MH_THREADS", fallback);
 }
 
 void print_thread_banner() {

@@ -28,9 +28,10 @@ std::size_t default_threads() noexcept;
 std::size_t resolve_threads(std::size_t threads) noexcept;
 
 /// Reads the MH_THREADS environment variable (benches' global override);
-/// returns `fallback` when unset or not a plain non-negative integer.
-/// 0 still means "auto".
-std::size_t threads_from_env(std::size_t fallback = 0) noexcept;
+/// returns `fallback` when unset or empty, 0 still means "auto". A malformed
+/// value throws std::invalid_argument (support/env.hpp) instead of silently
+/// running at the default width.
+std::size_t threads_from_env(std::size_t fallback = 0);
 
 /// One-line "engine: N thread(s) (MH_THREADS to override)" stdout banner,
 /// shared by the bench drivers.

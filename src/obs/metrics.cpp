@@ -1,20 +1,28 @@
 #include "obs/metrics.hpp"
 
 #include <bit>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <stdexcept>
+
+#include "support/env.hpp"
 
 namespace mh::obs {
 
 namespace {
 
+// The shared strict parser (support/env.hpp) replaces the old local
+// accept-list. enabled() is noexcept and runs during static init, so a
+// malformed MH_OBS cannot propagate: report it and abort instead of
+// silently recording nothing.
 bool env_truthy(const char* name) noexcept {
-  const char* raw = std::getenv(name);
-  if (raw == nullptr) return false;
-  return std::strcmp(raw, "1") == 0 || std::strcmp(raw, "on") == 0 ||
-         std::strcmp(raw, "ON") == 0 || std::strcmp(raw, "true") == 0 ||
-         std::strcmp(raw, "TRUE") == 0;
+  try {
+    return env::flag(name);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mh: %s\n", e.what());
+    std::abort();
+  }
 }
 
 std::atomic<bool>& enabled_flag() noexcept {

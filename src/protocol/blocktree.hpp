@@ -7,18 +7,40 @@
 //   * ConsistentHash (axiom A0'): every honest party breaks ties by the
 //     minimal head hash, so identical views yield identical selections.
 //
-// The tree is built for long executions: every block stores binary-lifting
-// ancestor pointers (up[j] = the 2^j-th ancestor), and the maximum-length
-// head set plus both tie-break winners are maintained incrementally on add.
-// Consequently best_head / max_length_heads are O(1)+copy, and the ancestry
-// queries (common_ancestor, block_at_slot, ancestor_at_length) are
-// O(log chain) instead of O(chain).
+// The tree is built for long executions AND wide sweeps. Storage is
+// structure-of-arrays: per-entry columns (block, length, slot, parent,
+// arrival hash) are parallel contiguous arrays, the binary-lifting ancestor
+// tables live in ONE flat CSR pool indexed by (entry, level) — up(i, j) =
+// the 2^j-th ancestor of entry i, up(i, 0) the parent — and the
+// hash -> index map is a flat open-addressing table (keys are already FNV
+// digests). Consequently best_head / max_length_heads are O(1)+copy, the
+// ancestry queries (common_ancestor, block_at_slot, ancestor_at_length) are
+// O(log chain), and an insertion is a handful of sequential array appends:
+// no per-block heap node, no per-entry lift vector, no random reads.
+//
+// The lift pool is materialized LAZILY: an insertion appends only the
+// fixed-stride columns; the first lifted query after a batch of insertions
+// extends the pool for the new entries in one contiguous pass (each entry is
+// built exactly once — ancestors always precede descendants in the pool).
+// In a protocol sweep only the global/public observer trees are ever
+// queried, so the per-node trees — which absorb the broadcast volume —
+// never pay for lift tables at all; trees that are queried pay the same
+// total build cost as an eager scheme, batched while the pool is cache-hot.
+// Lazy materialization is why the query methods are const but not
+// internally synchronized: a tree must not be queried from two threads
+// concurrently (no simulation shares one).
+//
+// The whole Storage block is recycled through a thread-local arena: a
+// destroyed tree donates its buffers, the next tree constructed on the same
+// thread reuses them, so a sweep cell that runs executions back to back
+// performs zero per-block allocations after its first run reached the
+// high-water mark. Recycling is invisible to semantics (storage is fully
+// reset on reuse; only capacities survive).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -36,11 +58,29 @@ class BlockTree {
   /// parent's) and must not be buffered.
   enum class AddResult : std::uint8_t { Added, Duplicate, Orphan, Invalid };
 
+  /// Entry indices are 32-bit; 0xffffffff is the index map's empty sentinel,
+  /// so a tree holds at most this many blocks (genesis included). try_add
+  /// guards the limit with MH_REQUIRE — reachable at the 10^6-party /
+  /// 10^7-slot bench tiers, it must fail loudly, never truncate.
+  static constexpr std::size_t kMaxBlocks = 0xffffffffu;
+
   BlockTree();
+  /// Test hook: cap the tree at `max_blocks` total entries (genesis included,
+  /// clamped to kMaxBlocks) so the overflow guard path is exercisable without
+  /// 2^32 insertions.
+  explicit BlockTree(std::size_t max_blocks);
+  ~BlockTree();
+
+  // Storage is arena-backed and exclusively owned: movable, not copyable.
+  BlockTree(BlockTree&&) noexcept = default;
+  BlockTree& operator=(BlockTree&&) noexcept = default;
+  BlockTree(const BlockTree&) = delete;
+  BlockTree& operator=(const BlockTree&) = delete;
 
   /// Validates and inserts: header hash intact, parent known, slot strictly
   /// increasing. Returns the precise outcome; the block is ignored unless
-  /// `Added`.
+  /// `Added`. Throws std::invalid_argument (MH_REQUIRE) if the insertion
+  /// would overflow the 32-bit entry index or chain-length space.
   AddResult try_add(const Block& block);
 
   /// `try_add`, collapsed to "is the block in the tree after the call".
@@ -53,7 +93,7 @@ class BlockTree {
   [[nodiscard]] const Block& block(BlockHash hash) const;
   /// Chain length from genesis (genesis has length 0).
   [[nodiscard]] std::size_t length(BlockHash hash) const;
-  [[nodiscard]] std::size_t block_count() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t block_count() const noexcept { return s_.blocks.size(); }
 
   /// Longest-chain selection per the tie-break rule, O(1): under
   /// AdversarialOrder the first-arrived maximum-length block wins; under
@@ -80,29 +120,65 @@ class BlockTree {
   /// requires len <= length(head). O(log chain).
   [[nodiscard]] BlockHash ancestor_at_length(BlockHash head, std::size_t len) const;
 
-  /// All block hashes in arrival order (genesis first).
+  /// All block hashes in arrival order (genesis first). This is the SoA hash
+  /// column itself, not a copy.
   [[nodiscard]] const std::vector<BlockHash>& arrival_order() const noexcept {
-    return arrival_;
+    return s_.arrival;
   }
 
- private:
-  struct Entry {
-    Block block;
-    std::uint32_t length = 0;
-    /// Binary-lifting pointers: up[j] = index of the 2^j-th ancestor, present
-    /// for every 2^j <= length (so up[0] is the parent). Genesis has none.
-    std::vector<std::uint32_t> up;
+  /// Structure-of-arrays storage. Public only as a type (for the arena API
+  /// below); the columns themselves stay private to BlockTree.
+  struct Storage {
+    std::vector<Block> blocks;           ///< arrival order; index 0 = genesis
+    std::vector<std::uint32_t> lengths;  ///< chain length column
+    std::vector<std::uint64_t> slots;    ///< slot-label column (hot in queries)
+    std::vector<std::uint32_t> parents;  ///< parent-index column (genesis: 0)
+    std::vector<BlockHash> arrival;      ///< hash column == arrival order
+    /// CSR binary-lifting pool: entry i's table is lift[lift_off[i] + j] for
+    /// j in [0, bit_width(lengths[i])) — one flat array for the whole tree,
+    /// built lazily (mutable: materialized under const queries) for the
+    /// first `lift_built` entries only.
+    mutable std::vector<std::uint32_t> lift_off;
+    mutable std::vector<std::uint32_t> lift;
+    mutable std::uint32_t lift_built = 0;
+    /// Open-addressing hash -> index map (linear probing, power-of-two
+    /// capacity). vals[i] == kEmptySlot marks a free slot; keys are the
+    /// block hashes (already FNV-mixed, re-mixed once more for the mask).
+    std::vector<BlockHash> index_keys;
+    std::vector<std::uint32_t> index_vals;
+    std::size_t index_size = 0;
+    std::vector<std::uint32_t> head_idx;  ///< max-length blocks, arrival order
   };
 
+  /// Cumulative counters of the calling thread's storage arena (diagnostics
+  /// and tests; recycling must be semantically invisible).
+  struct ArenaStats {
+    std::size_t acquired = 0;  ///< storages handed to trees
+    std::size_t recycled = 0;  ///< of those, served from the free list
+    std::size_t released = 0;  ///< storages returned by destroyed trees
+  };
+  [[nodiscard]] static ArenaStats arena_stats() noexcept;
+  /// Drop the calling thread's free list (frees the cached capacity).
+  static void arena_trim() noexcept;
+
+ private:
+  static constexpr std::uint32_t kEmptySlot = 0xffffffffu;
+
+  void seed_genesis();
+  [[nodiscard]] std::uint32_t find(BlockHash hash) const noexcept;
   [[nodiscard]] std::uint32_t index_of(BlockHash hash) const;
+  void index_insert(BlockHash hash, std::uint32_t idx);
+  void index_grow();
+  /// Extend the CSR lift pool to cover every entry (no-op when current).
+  void ensure_lift() const;
+  /// Number of lift levels entry `idx` owns: bit_width(length).
+  [[nodiscard]] std::uint32_t levels(std::uint32_t idx) const noexcept;
   [[nodiscard]] std::uint32_t lift(std::uint32_t idx, std::size_t steps) const;
 
-  std::vector<Entry> entries_;  ///< arrival order; index 0 = genesis
-  std::vector<BlockHash> arrival_;
-  std::unordered_map<BlockHash, std::uint32_t> index_;
+  Storage s_;
+  std::size_t max_blocks_ = kMaxBlocks;
   std::size_t best_length_ = 0;
-  std::vector<std::uint32_t> head_idx_;  ///< max-length blocks, arrival order
-  BlockHash min_hash_head_ = 0;          ///< min hash among head_idx_
+  BlockHash min_hash_head_ = 0;  ///< min hash among head_idx
 };
 
 /// The parent-unknown buffer shared by honest nodes and the simulation's

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 #include "fork_fixtures.hpp"
 
 namespace mh {
@@ -199,6 +206,283 @@ TEST(BlockTree, LiftedQueriesMatchNaiveWalks) {
   for (BlockHash h : tree.arrival_order())
     if (tree.length(h) == tree.best_length()) scan.push_back(h);
   EXPECT_EQ(tree.max_length_heads(), scan);
+}
+
+// A deliberately naive map-based tree retained as the differential reference
+// for the SoA implementation: same validation order (duplicate -> integrity
+// -> parent -> slot), same head-set rule, every query a plain parent walk.
+class ReferenceTree {
+ public:
+  ReferenceTree() {
+    const Block& g = genesis_block();
+    entries_.emplace(g.hash, Entry{g, 0});
+    arrival_.push_back(g.hash);
+  }
+
+  BlockTree::AddResult try_add(const Block& b) {
+    if (entries_.count(b.hash) != 0) return BlockTree::AddResult::Duplicate;
+    if (!verify_block_integrity(b)) return BlockTree::AddResult::Invalid;
+    const auto parent = entries_.find(b.parent);
+    if (parent == entries_.end()) return BlockTree::AddResult::Orphan;
+    if (b.slot <= parent->second.block.slot) return BlockTree::AddResult::Invalid;
+    entries_.emplace(b.hash, Entry{b, parent->second.length + 1});
+    arrival_.push_back(b.hash);
+    return BlockTree::AddResult::Added;
+  }
+
+  [[nodiscard]] bool contains(BlockHash h) const { return entries_.count(h) != 0; }
+  [[nodiscard]] std::size_t length(BlockHash h) const { return entries_.at(h).length; }
+  [[nodiscard]] std::size_t block_count() const { return entries_.size(); }
+
+  [[nodiscard]] std::size_t best_length() const {
+    std::size_t best = 0;
+    for (const auto& [h, e] : entries_) best = std::max(best, e.length);
+    return best;
+  }
+
+  [[nodiscard]] std::vector<BlockHash> max_length_heads() const {
+    const std::size_t best = best_length();
+    std::vector<BlockHash> heads;
+    for (BlockHash h : arrival_)
+      if (entries_.at(h).length == best) heads.push_back(h);
+    return heads;
+  }
+
+  [[nodiscard]] BlockHash best_head(TieBreak rule) const {
+    const std::vector<BlockHash> heads = max_length_heads();
+    if (rule == TieBreak::AdversarialOrder) return heads.front();
+    return *std::min_element(heads.begin(), heads.end());
+  }
+
+  [[nodiscard]] std::vector<BlockHash> chain(BlockHash head) const {
+    std::vector<BlockHash> out;
+    for (BlockHash h = head;; h = entries_.at(h).block.parent) {
+      out.push_back(h);
+      if (h == genesis_block().hash) break;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+  }
+
+  [[nodiscard]] BlockHash common_ancestor(BlockHash a, BlockHash b) const {
+    std::vector<BlockHash> ca = chain(a);
+    const std::vector<BlockHash> cb = chain(b);
+    BlockHash meet = genesis_block().hash;
+    for (std::size_t i = 0; i < std::min(ca.size(), cb.size()); ++i)
+      if (ca[i] == cb[i]) meet = ca[i];
+    return meet;
+  }
+
+  [[nodiscard]] std::optional<BlockHash> block_at_slot(BlockHash head, std::uint64_t s) const {
+    for (BlockHash h = head; h != genesis_block().hash; h = entries_.at(h).block.parent)
+      if (entries_.at(h).block.slot <= s) return h;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] BlockHash ancestor_at_length(BlockHash head, std::size_t len) const {
+    const std::vector<BlockHash> c = chain(head);
+    return c.at(len);
+  }
+
+  [[nodiscard]] const std::vector<BlockHash>& arrival_order() const { return arrival_; }
+
+ private:
+  struct Entry {
+    Block block;
+    std::size_t length = 0;
+  };
+  std::unordered_map<BlockHash, Entry> entries_;
+  std::vector<BlockHash> arrival_;
+};
+
+TEST(BlockTree, DifferentialFuzzAgainstReferenceTree) {
+  // Random interleavings of out-of-order delivery (via OrphanBuffer flushes),
+  // duplicates, tampered headers, stale slots, and lifted queries: the SoA
+  // tree must agree with the naive reference on every outcome and view.
+  Rng rng(0x50a50a);
+  for (int round = 0; round < 8; ++round) {
+    // A universe of mostly-valid blocks over a random fork structure.
+    std::vector<Block> universe{genesis_block()};
+    for (std::uint64_t i = 0; i < 160; ++i) {
+      const std::size_t pick =
+          rng.bernoulli(0.6) ? universe.size() - 1 : rng.below(universe.size());
+      const Block& parent = universe[pick];
+      Block b = make_block(parent.hash, parent.slot + 1 + rng.below(2), 0, i);
+      if (rng.bernoulli(0.05)) b.payload ^= 0xbad;  // tampered header
+      if (rng.bernoulli(0.05)) b = make_block(parent.hash, parent.slot, 0, i);  // stale slot
+      universe.push_back(b);
+      if (rng.bernoulli(0.1)) universe.push_back(b);  // duplicate delivery
+    }
+    // Adversarial delivery order: shuffle, so ancestors often arrive late.
+    for (std::size_t i = universe.size() - 1; i > 0; --i)
+      std::swap(universe[i], universe[rng.below(i + 1)]);
+
+    BlockTree tree;
+    ReferenceTree ref;
+    OrphanBuffer orphans;
+    std::vector<Block> ref_orphans;
+    for (const Block& b : universe) {
+      const BlockTree::AddResult got = tree.try_add(b);
+      const BlockTree::AddResult want = ref.try_add(b);
+      ASSERT_EQ(got, want);
+      if (got == BlockTree::AddResult::Added) {
+        orphans.flush(tree, nullptr);
+        // Reference flush: retry until no progress, drop non-orphan outcomes.
+        bool progress = true;
+        while (progress) {
+          progress = false;
+          std::vector<Block> still;
+          for (const Block& o : ref_orphans) {
+            const BlockTree::AddResult r = ref.try_add(o);
+            if (r == BlockTree::AddResult::Added) progress = true;
+            if (r == BlockTree::AddResult::Orphan) still.push_back(o);
+          }
+          ref_orphans.swap(still);
+        }
+      } else if (got == BlockTree::AddResult::Orphan) {
+        orphans.buffer(b);
+        bool dup = false;
+        for (const Block& o : ref_orphans) dup = dup || o.hash == b.hash;
+        if (!dup) ref_orphans.push_back(b);
+      }
+
+      if (rng.bernoulli(0.2)) {
+        // Lifted queries against the naive walks, mid-interleaving (this also
+        // exercises incremental lazy lift materialization between adds).
+        const auto& arr = tree.arrival_order();
+        const BlockHash x = arr[rng.below(arr.size())];
+        const BlockHash y = arr[rng.below(arr.size())];
+        ASSERT_EQ(tree.common_ancestor(x, y), ref.common_ancestor(x, y));
+        const std::size_t at = rng.below(tree.length(x) + 1);
+        ASSERT_EQ(tree.ancestor_at_length(x, at), ref.ancestor_at_length(x, at));
+        const std::uint64_t s = rng.below(tree.block(x).slot + 2);
+        ASSERT_EQ(tree.block_at_slot(x, s), ref.block_at_slot(x, s));
+      }
+    }
+
+    ASSERT_EQ(orphans.size(), ref_orphans.size());
+    ASSERT_EQ(tree.block_count(), ref.block_count());
+    ASSERT_EQ(tree.arrival_order(), ref.arrival_order());
+    ASSERT_EQ(tree.best_length(), ref.best_length());
+    ASSERT_EQ(tree.max_length_heads(), ref.max_length_heads());
+    ASSERT_EQ(tree.best_head(TieBreak::AdversarialOrder),
+              ref.best_head(TieBreak::AdversarialOrder));
+    ASSERT_EQ(tree.best_head(TieBreak::ConsistentHash),
+              ref.best_head(TieBreak::ConsistentHash));
+    for (BlockHash h : tree.arrival_order()) {
+      ASSERT_EQ(tree.length(h), ref.length(h));
+      ASSERT_EQ(tree.chain(h), ref.chain(h));
+    }
+  }
+}
+
+TEST(BlockTree, LiftPropertiesAtPowerOfTwoLengthBoundaries) {
+  // The CSR lift table of an entry owns bit_width(length) levels, so its
+  // width changes exactly when length crosses a power of two. Query at every
+  // such boundary (and its neighbors) while the chain grows, so the lazily
+  // materialized pool is extended across each width change.
+  BlockTree tree;
+  std::vector<BlockHash> by_length{genesis_block().hash};
+  BlockHash tip = genesis_block().hash;
+  std::uint64_t slot = 0;
+  for (std::size_t len = 1; len <= 1100; ++len) {
+    slot += 1 + (len % 3);
+    const Block b = make_block(tip, slot, 0, len);
+    ASSERT_EQ(tree.try_add(b), BlockTree::AddResult::Added);
+    tip = b.hash;
+    by_length.push_back(tip);
+
+    const bool boundary = (len & (len - 1)) == 0 || ((len + 1) & len) == 0;
+    if (!boundary && len % 97 != 0) continue;
+    // ancestor_at_length at the power-of-two jump distances and their
+    // neighbors, plus the full boundary set below the tip.
+    for (std::size_t j = 1; j <= len; j <<= 1) {
+      ASSERT_EQ(tree.ancestor_at_length(tip, len - j), by_length[len - j]);
+      if (j > 1) ASSERT_EQ(tree.ancestor_at_length(tip, len - j + 1), by_length[len - j + 1]);
+      if (len >= j + 1)
+        ASSERT_EQ(tree.ancestor_at_length(tip, len - j - 1), by_length[len - j - 1]);
+    }
+    ASSERT_EQ(tree.ancestor_at_length(tip, 0), genesis_block().hash);
+    ASSERT_EQ(tree.common_ancestor(tip, by_length[len / 2]), by_length[len / 2]);
+  }
+}
+
+TEST(BlockTree, CapacityGuardThrowsInsteadOfTruncating) {
+  // Regression for the silent index truncation: at capacity, try_add must
+  // throw (MH_REQUIRE -> std::invalid_argument) and leave the tree intact,
+  // never wrap the 32-bit index.
+  BlockTree tree(4);  // genesis + 3 blocks
+  const auto chain = fixtures::grow_chain(tree, genesis_block().hash, {1, 2, 3});
+  EXPECT_EQ(tree.block_count(), 4u);
+
+  const Block overflow = make_block(chain.back().hash, 4, 0, 99);
+  EXPECT_THROW(static_cast<void>(tree.try_add(overflow)), std::invalid_argument);
+  EXPECT_EQ(tree.block_count(), 4u);
+  EXPECT_FALSE(tree.contains(overflow.hash));
+  // Pre-insert validation still answers without touching capacity.
+  EXPECT_EQ(tree.try_add(chain.back()), BlockTree::AddResult::Duplicate);
+  const Block orphan = make_block(0xdeadbeef, 9, 0, 1);
+  EXPECT_EQ(tree.try_add(orphan), BlockTree::AddResult::Orphan);
+  // The tree still works after the rejected insertion.
+  EXPECT_EQ(tree.best_head(TieBreak::AdversarialOrder), chain.back().hash);
+  EXPECT_EQ(tree.ancestor_at_length(chain.back().hash, 1), chain.front().hash);
+}
+
+TEST(BlockTree, ZeroCapacityIsRejected) {
+  EXPECT_THROW(BlockTree tree(0), std::invalid_argument);
+}
+
+TEST(BlockTree, ArenaRecyclingIsSemanticallyInvisible) {
+  // Two identical builds, the second on recycled storage: every observable
+  // must match, and the arena must report the recycle.
+  const auto build_and_observe = [] {
+    BlockTree tree;
+    Rng rng(0xa3e4a);
+    std::vector<Block> blocks{genesis_block()};
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      const std::size_t pick =
+          rng.bernoulli(0.7) ? blocks.size() - 1 : rng.below(blocks.size());
+      const Block& parent = blocks[pick];
+      const Block b = make_block(parent.hash, parent.slot + 1 + rng.below(3), 0, i);
+      EXPECT_EQ(tree.try_add(b), BlockTree::AddResult::Added);
+      blocks.push_back(b);
+    }
+    std::vector<BlockHash> view = tree.arrival_order();
+    view.push_back(tree.best_head(TieBreak::AdversarialOrder));
+    view.push_back(tree.best_head(TieBreak::ConsistentHash));
+    for (int i = 0; i < 50; ++i) {
+      const BlockHash x = blocks[rng.below(blocks.size())].hash;
+      const BlockHash y = blocks[rng.below(blocks.size())].hash;
+      view.push_back(tree.common_ancestor(x, y));
+      view.push_back(tree.ancestor_at_length(x, rng.below(tree.length(x) + 1)));
+    }
+    return view;
+  };
+
+  const BlockTree::ArenaStats before = BlockTree::arena_stats();
+  const std::vector<BlockHash> first = build_and_observe();
+  const std::vector<BlockHash> second = build_and_observe();
+  const BlockTree::ArenaStats after = BlockTree::arena_stats();
+
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(after.acquired, before.acquired + 2);
+  EXPECT_EQ(after.released, before.released + 2);
+  // The second build (at least) ran on the first build's donated storage.
+  EXPECT_GE(after.recycled, before.recycled + 1);
+}
+
+TEST(BlockTree, MoveTransfersStorageWithoutDoubleRelease) {
+  const BlockTree::ArenaStats before = BlockTree::arena_stats();
+  {
+    BlockTree a;
+    fixtures::grow_chain(a, genesis_block().hash, {1, 2});
+    BlockTree b = std::move(a);
+    EXPECT_EQ(b.block_count(), 3u);
+    EXPECT_EQ(b.best_length(), 2u);
+  }  // both destructors run; only b owns storage
+  const BlockTree::ArenaStats after = BlockTree::arena_stats();
+  EXPECT_EQ(after.acquired, before.acquired + 1);
+  EXPECT_EQ(after.released, before.released + 1);
 }
 
 }  // namespace
