@@ -56,7 +56,7 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng, const faults::Faul
   std::optional<faults::FaultInjector> injector;
   if (plan != nullptr) injector.emplace(*plan, config.honest_parties, config.horizon);
   Simulation sim(schedule, SimulationConfig{config.tie_break, rng()}, config.delta,
-                 adversary.get(), injector ? &*injector : nullptr);
+                 adversary.get(), injector ? &*injector : nullptr, config.net);
   bool tied = false;
   {
     MH_OBS_TIMER("oracle.phase.simulate");
@@ -72,7 +72,8 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng, const faults::Faul
   std::size_t project_delta = config.delta;
   std::optional<LeaderSchedule> effective;
   const LeaderSchedule* projected_schedule = &schedule;
-  if (injector) {
+  const bool hetero = config.net.heterogeneous();
+  if (injector && !hetero) {
     const FaultReport report = sim.fault_report();
     verdict.faulted = true;
     verdict.observed_delta = static_cast<std::uint32_t>(report.observed_delta);
@@ -98,6 +99,39 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng, const faults::Faul
       // finite projection; the flag alone stands ('u').
       if (verdict.delta_unbounded) return verdict;
       project_delta = report.observed_delta;
+      verdict.recovery_checked = true;
+    }
+  }
+
+  // --- network audit: a heterogeneous run is graded at its observed Delta --
+  if (hetero) {
+    const NetReport net = sim.net_report();
+    verdict.heterogeneous = true;
+    verdict.observed_delta = static_cast<std::uint32_t>(net.observed_delta);
+    MH_OBS_COUNT("oracle.hetero_runs", 1);
+    if (injector) {
+      // Faults ride along: the injector contributes stats and the effective
+      // (leadership-skipped) schedule; the Delta grade itself comes from the
+      // NetReport, whose inflation already folds in the fault layer's
+      // adoption delays (they share the same counter).
+      const FaultReport report = sim.fault_report();
+      verdict.faulted = true;
+      verdict.resync_blocks = static_cast<std::uint32_t>(report.stats.resync_blocks);
+      verdict.faults_injected = static_cast<std::uint32_t>(report.stats.injected());
+      MH_OBS_COUNT("oracle.faulted_runs", 1);
+      MH_OBS_COUNT("protocol.faults.injected", report.stats.injected());
+      if (report.leaderships_skipped != 0) {
+        effective = injector->effective_schedule(schedule);
+        projected_schedule = &*effective;
+      }
+    }
+    verdict.degraded = net.observed_delta > config.delta;
+    if (verdict.degraded) {
+      MH_OBS_COUNT("oracle.degraded_runs", 1);
+      // The pending-delivery inflation keeps the observed Delta finite on the
+      // strongly connected topology set, so every heterogeneous run holds to
+      // the invariants AT that Delta — never a silent pass, never 'u'.
+      project_delta = net.observed_delta;
       verdict.recovery_checked = true;
     }
   }

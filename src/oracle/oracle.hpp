@@ -32,6 +32,14 @@
 //     invariant (code 'd' when it holds, '!' when it does not);
 //   * some honest block never delivered at all (unhealed partition): no
 //     finite Delta describes the run; it is flagged unchecked (code 'u').
+//
+// Heterogeneous executions (a non-degenerate RunConfig.net: gossip topology,
+// per-link latency, bandwidth caps) grade through the same machinery: the
+// Simulation's NetReport supplies the observed Delta — inflated for honest
+// blocks still undelivered when the run ends, so the projection window stays
+// open — and a run beyond the configured bound re-projects at that Delta
+// (code 'd'). The topology set is strongly connected by construction, so a
+// heterogeneous run is never unbounded ('u'): lateness, not partition.
 #pragma once
 
 #include <cstdint>
@@ -40,6 +48,7 @@
 #include "oracle/characteristic.hpp"
 #include "protocol/adversary.hpp"
 #include "protocol/faults/plan.hpp"
+#include "protocol/net/config.hpp"
 
 namespace mh::oracle {
 
@@ -58,6 +67,7 @@ struct RunConfig {
   std::size_t k = 6;            ///< confirmation depth of the settlement watch
   std::size_t horizon = 48;
   std::size_t honest_parties = 6;
+  net::NetConfig net{};  ///< network shape; default = degenerate lockstep
 };
 
 /// The oracle's verdict on a single execution. All fields are pure functions
@@ -71,8 +81,9 @@ struct RunVerdict {
   std::int64_t fork_margin = 0;      ///< mu_{x'} of the relabeled execution fork
   std::int64_t string_margin = 0;    ///< mu_{x'}(y') of the recurrence, full suffix
 
-  // Fault audit (all false/0 for un-faulted executions).
+  // Fault / network audit (all false/0 for un-faulted degenerate executions).
   bool faulted = false;           ///< a FaultPlan perturbed this execution
+  bool heterogeneous = false;     ///< a non-degenerate NetConfig shaped the transport
   bool degraded = false;          ///< observed Delta exceeded the configured bound
   bool delta_unbounded = false;   ///< an honest block was never delivered at all
   bool recovery_checked = false;  ///< degraded run re-projected at observed Delta

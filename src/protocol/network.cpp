@@ -1,6 +1,7 @@
 #include "protocol/network.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "obs/obs.hpp"
 #include "protocol/faults/injector.hpp"
@@ -8,9 +9,19 @@
 
 namespace mh {
 
-Network::Network(std::size_t parties, std::size_t delta)
-    : parties_(parties), delta_(delta), queues_(parties) {
-  MH_REQUIRE(parties >= 1);
+Network::Network(std::size_t parties, std::size_t delta, net::NetConfig config)
+    : parties_(parties),
+      delta_(delta),
+      config_(config),
+      hetero_(config.heterogeneous()),
+      topology_(net::Topology::build(config.topology, parties, config.k, config.seed)),
+      link_seeds_(config.seed),
+      events_(parties),
+      queues_(parties) {
+  MH_REQUIRE_MSG(parties >= 1, "a network needs at least one party, got " +
+                                   std::to_string(parties));
+  config_.validate(parties);
+  if (hetero_) egress_.resize(parties);
 }
 
 void Network::record(std::unordered_map<BlockHash, std::size_t>& sent, BlockHash hash,
@@ -36,7 +47,7 @@ bool Network::covered_all(BlockHash hash, std::size_t due) const {
 // add per round, not per push): push() runs millions of times per execution
 // and a per-push hook alone costs ~2% wall-clock on the E14 acceptance cell.
 void Network::push(PartyId recipient, const Block& block, std::size_t due) {
-  queues_[recipient].buckets[due].push_back(block);
+  events_.schedule(recipient, due, block);
 }
 
 void Network::record_recipient(PartyId recipient, BlockHash hash, std::size_t due) {
@@ -101,11 +112,144 @@ bool Network::faulted_link(PartyId sender, PartyId recipient, std::size_t slot,
   return true;
 }
 
+// --- heterogeneous (event-core gossip) path --------------------------------
+
+std::size_t Network::egress_depart(PartyId sender, std::size_t slot) {
+  const std::size_t cap = config_.bandwidth;
+  if (cap == 0) return slot;
+  Egress& egress = egress_[sender];
+  // A counter behind the request slot is stale history; one at or past it is
+  // spillover from this slot's (or an earlier slot's) over-cap sends.
+  if (egress.slot < slot) {
+    egress.slot = slot;
+    egress.used = 0;
+  }
+  while (egress.used >= cap) {
+    ++egress.slot;
+    egress.used = 0;
+    MH_OBS_COUNT("protocol.net.bandwidth_spills", 1);
+  }
+  ++egress.used;
+  return egress.slot;
+}
+
+std::size_t Network::link_extra(std::size_t slot, PartyId sender, PartyId recipient) const {
+  if (config_.latency.kind == net::LatencyKind::Degenerate) return config_.latency.fixed;
+  // One draw per (slot, link): the link's delay at that slot, pure in the
+  // scenario spec (same keying as the fault layer's link verdicts).
+  Rng rng = link_seeds_.stream((slot * parties_ + sender) * parties_ + recipient);
+  return config_.latency.draw(rng);
+}
+
+void Network::hetero_send(PartyId sender, PartyId recipient, const Block& block,
+                          std::size_t slot, std::size_t adversary_delay,
+                          std::size_t fault_extra, bool duplicate) {
+  const std::size_t depart = egress_depart(sender, slot);
+  const std::size_t due =
+      depart + 1 + adversary_delay + fault_extra + link_extra(depart, sender, recipient);
+  push(recipient, block, due);
+  if (duplicate) push(recipient, block, due);
+  queues_[recipient].scheduled.insert(block.hash);
+}
+
+void Network::hetero_broadcast_chain(const BlockTree& tree, const Block& block,
+                                     std::size_t sent_slot,
+                                     const std::vector<std::size_t>& per_recipient_delay) {
+  const PartyId sender = block.issuer;
+  MH_REQUIRE_MSG(sender < parties_,
+                 "heterogeneous broadcast_chain needs an honest issuer, got party " +
+                     std::to_string(sender) + " at slot " + std::to_string(sent_slot));
+  // The forger self-accepts: its own coverage gains the block immediately, so
+  // a neighbor's later relay back to it deduplicates.
+  queues_[sender].scheduled.insert(block.hash);
+  const bool faulted = fault_window(sent_slot);
+  MH_OBS_ONLY(std::size_t shipped = 0;)
+  topology_.for_each_neighbor(sender, [&](PartyId r) {
+    const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
+    MH_REQUIRE_MSG(delay <= delta_, "adversary delay " + std::to_string(delay) +
+                                        " for party " + std::to_string(r) + " at slot " +
+                                        std::to_string(sent_slot) +
+                                        " exceeds Delta = " + std::to_string(delta_));
+    faults::LinkVerdict link{};
+    // A lost ship schedules nothing: the recipient's scheduled-set keeps the
+    // gap, so the next broadcast or relay on this chain re-walks past it.
+    if (faulted && !faulted_link(sender, r, sent_slot, &link)) return;
+    auto& scheduled = queues_[r].scheduled;
+    lift_scratch_.clear();
+    BlockHash h = block.parent;
+    for (; h != genesis_block().hash && scheduled.find(h) == scheduled.end();
+         h = tree.block(h).parent)
+      lift_scratch_.push_back(h);
+    MH_OBS_HIST("protocol.net.chain_sync_depth", lift_scratch_.size());
+    MH_OBS_ONLY(shipped += lift_scratch_.size() + 1;)
+    for (std::size_t i = lift_scratch_.size(); i-- > 0;)
+      hetero_send(sender, r, tree.block(lift_scratch_[i]), sent_slot, delay,
+                  faulted ? link.extra_delay : 0, false);
+    hetero_send(sender, r, block, sent_slot, delay, faulted ? link.extra_delay : 0,
+                faulted && link.duplicate);
+  });
+  MH_OBS_COUNT("protocol.net.blocks_shipped", shipped);
+}
+
+void Network::hetero_relay(PartyId relayer, const Block& block, std::size_t slot) {
+  const bool faulted = fault_window(slot);
+  MH_OBS_ONLY(std::size_t relayed = 0;)
+  topology_.for_each_neighbor(relayer, [&](PartyId neighbor) {
+    auto& scheduled = queues_[neighbor].scheduled;
+    if (scheduled.find(block.hash) != scheduled.end()) return;
+    faults::LinkVerdict link{};
+    if (faulted && !faulted_link(relayer, neighbor, slot, &link)) return;
+    MH_OBS_ONLY(++relayed;)
+    hetero_send(relayer, neighbor, block, slot, 0, faulted ? link.extra_delay : 0,
+                faulted && link.duplicate);
+  });
+  MH_OBS_COUNT("protocol.net.blocks_relayed", relayed);
+}
+
+// --- broadcast entry points ------------------------------------------------
+
 void Network::broadcast(const Block& block, std::size_t sent_slot,
                         const std::vector<std::size_t>& per_recipient_delay) {
-  MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
+  MH_REQUIRE_MSG(per_recipient_delay.empty() || per_recipient_delay.size() == parties_,
+                 "delay vector covers " + std::to_string(per_recipient_delay.size()) +
+                     " parties, network has " + std::to_string(parties_));
   MH_REQUIRE_MSG(block.slot <= sent_slot,
-                 "non-monotone broadcast: a block cannot be sent before its own slot");
+                 "non-monotone broadcast: party " + std::to_string(block.issuer) +
+                     "'s slot-" + std::to_string(block.slot) +
+                     " block cannot be sent at slot " + std::to_string(sent_slot));
+  if (hetero_) {
+    MH_OBS_COUNT("protocol.net.blocks_shipped", 1);
+    const bool faulted = fault_window(sent_slot);
+    if (block.issuer >= parties_) {
+      // Adversarial source: direct channels to everyone (topology, latency,
+      // and bandwidth never bind the coalition); only the configured
+      // hold-back and a down endpoint apply.
+      for (PartyId r = 0; r < parties_; ++r) {
+        const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
+        MH_REQUIRE_MSG(delay <= delta_, "adversary delay " + std::to_string(delay) +
+                                            " for party " + std::to_string(r) +
+                                            " at slot " + std::to_string(sent_slot) +
+                                            " exceeds Delta = " + std::to_string(delta_));
+        if (faulted && faults_->is_down(r, sent_slot)) continue;
+        push(r, block, sent_slot + 1 + delay);
+        queues_[r].scheduled.insert(block.hash);
+      }
+      return;
+    }
+    queues_[block.issuer].scheduled.insert(block.hash);
+    topology_.for_each_neighbor(block.issuer, [&](PartyId r) {
+      const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
+      MH_REQUIRE_MSG(delay <= delta_, "adversary delay " + std::to_string(delay) +
+                                          " for party " + std::to_string(r) + " at slot " +
+                                          std::to_string(sent_slot) +
+                                          " exceeds Delta = " + std::to_string(delta_));
+      faults::LinkVerdict link{};
+      if (faulted && !faulted_link(block.issuer, r, sent_slot, &link)) return;
+      hetero_send(block.issuer, r, block, sent_slot, delay,
+                  faulted ? link.extra_delay : 0, faulted && link.duplicate);
+    });
+    return;
+  }
   MH_OBS_COUNT("protocol.net.blocks_shipped", parties_);
   const bool faulted = fault_window(sent_slot);
   if (per_recipient_delay.empty() && !faulted) {
@@ -119,7 +263,10 @@ void Network::broadcast(const Block& block, std::size_t sent_slot,
   std::size_t due_max = sent_slot + 1;
   for (PartyId r = 0; r < parties_; ++r) {
     const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
-    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
+    MH_REQUIRE_MSG(delay <= delta_, "adversary delay " + std::to_string(delay) +
+                                        " for party " + std::to_string(r) + " at slot " +
+                                        std::to_string(sent_slot) +
+                                        " exceeds Delta = " + std::to_string(delta_));
     std::size_t due = sent_slot + 1 + delay;
     faults::LinkVerdict link;
     if (faulted) {
@@ -136,9 +283,17 @@ void Network::broadcast(const Block& block, std::size_t sent_slot,
 
 void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::size_t sent_slot,
                               const std::vector<std::size_t>& per_recipient_delay) {
-  MH_REQUIRE(per_recipient_delay.empty() || per_recipient_delay.size() == parties_);
+  MH_REQUIRE_MSG(per_recipient_delay.empty() || per_recipient_delay.size() == parties_,
+                 "delay vector covers " + std::to_string(per_recipient_delay.size()) +
+                     " parties, network has " + std::to_string(parties_));
   MH_REQUIRE_MSG(block.slot <= sent_slot,
-                 "non-monotone broadcast: a block cannot be sent before its own slot");
+                 "non-monotone broadcast: party " + std::to_string(block.issuer) +
+                     "'s slot-" + std::to_string(block.slot) +
+                     " block cannot be sent at slot " + std::to_string(sent_slot));
+  if (hetero_) {
+    hetero_broadcast_chain(tree, block, sent_slot, per_recipient_delay);
+    return;
+  }
   const bool faulted = fault_window(sent_slot);
   // An all-equal delay vector (adversaries often return all-zeros) is a
   // uniform broadcast: handle it on the fast path so the per-recipient
@@ -151,7 +306,9 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
                    [&](std::size_t d) { return d == per_recipient_delay.front(); }));
   if (uniform) {
     const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay.front();
-    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
+    MH_REQUIRE_MSG(delay <= delta_, "adversary delay " + std::to_string(delay) +
+                                        " at slot " + std::to_string(sent_slot) +
+                                        " exceeds Delta = " + std::to_string(delta_));
     // One watermark walk covers every recipient.
     const std::size_t due = sent_slot + 1 + delay;
     lift_scratch_.clear();
@@ -175,7 +332,10 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
   MH_OBS_ONLY(std::size_t shipped = 0;)
   for (PartyId r = 0; r < parties_; ++r) {
     const std::size_t delay = per_recipient_delay.empty() ? 0 : per_recipient_delay[r];
-    MH_REQUIRE_MSG(delay <= delta_, "adversary may not delay past Delta");
+    MH_REQUIRE_MSG(delay <= delta_, "adversary delay " + std::to_string(delay) +
+                                        " for party " + std::to_string(r) + " at slot " +
+                                        std::to_string(sent_slot) +
+                                        " exceeds Delta = " + std::to_string(delta_));
     std::size_t due = sent_slot + 1 + delay;
     faults::LinkVerdict link;
     if (faulted) {
@@ -212,9 +372,12 @@ void Network::broadcast_chain(const BlockTree& tree, const Block& block, std::si
 }
 
 void Network::inject(const Block& block, PartyId recipient, std::size_t visible_slot) {
-  MH_REQUIRE(recipient < parties_);
+  MH_REQUIRE_MSG(recipient < parties_,
+                 "injection for unknown party " + std::to_string(recipient) +
+                     " (network has " + std::to_string(parties_) + " parties)");
   MH_REQUIRE_MSG(visible_slot >= block.slot,
-                 "non-monotone injection: a block cannot be visible before its own slot");
+                 "non-monotone injection: a slot-" + std::to_string(block.slot) +
+                     " block cannot be visible at slot " + std::to_string(visible_slot));
   // Partitions never sever adversarial channels (the coalition keeps links
   // into every component), but a crashed endpoint receives nothing.
   if (faults_ != nullptr && faults_->is_down(recipient, visible_slot)) {
@@ -224,6 +387,10 @@ void Network::inject(const Block& block, PartyId recipient, std::size_t visible_
   }
   MH_OBS_COUNT("protocol.net.blocks_shipped", 1);
   push(recipient, block, visible_slot);
+  if (hetero_) {
+    queues_[recipient].scheduled.insert(block.hash);
+    return;
+  }
   // Watermarks must stay chain-complete: a partial disclosure (parent not
   // covered) is NOT recorded, so later honest broadcasts re-ship the prefix.
   if (covered(recipient, block.parent, visible_slot))
@@ -232,9 +399,22 @@ void Network::inject(const Block& block, PartyId recipient, std::size_t visible_
 
 void Network::inject_all(const Block& block, std::size_t visible_slot) {
   MH_REQUIRE_MSG(visible_slot >= block.slot,
-                 "non-monotone injection: a block cannot be visible before its own slot");
+                 "non-monotone injection: a slot-" + std::to_string(block.slot) +
+                     " block cannot be visible at slot " + std::to_string(visible_slot));
   MH_OBS_COUNT("protocol.net.blocks_shipped", parties_);
   const bool faulted = fault_window(visible_slot);
+  if (hetero_) {
+    for (PartyId r = 0; r < parties_; ++r) {
+      if (faulted && faults_->is_down(r, visible_slot)) {
+        ++faults_->stats().ships_dropped;
+        MH_OBS_COUNT("protocol.faults.ships_dropped", 1);
+        continue;
+      }
+      push(r, block, visible_slot);
+      queues_[r].scheduled.insert(block.hash);
+    }
+    return;
+  }
   // When the parent is covered for everyone, the all-recipient record alone
   // carries the coverage — per-recipient entries would be strictly redundant.
   // A fault window disables it: a down recipient's ship is dropped.
@@ -253,25 +433,34 @@ void Network::inject_all(const Block& block, std::size_t visible_slot) {
 }
 
 void Network::crash_recipient(PartyId recipient) {
-  MH_REQUIRE(recipient < parties_);
+  MH_REQUIRE_MSG(recipient < parties_,
+                 "crash for unknown party " + std::to_string(recipient) +
+                     " (network has " + std::to_string(parties_) + " parties)");
   RecipientQueue& queue = queues_[recipient];
-  // Volatile endpoint state is lost: queued deliveries and the chain-sync
-  // watermarks that claimed they were scheduled. The all-recipient bound
-  // covers this recipient's wiped in-flight messages too, so it must be
-  // invalidated — conservatively for everyone, which only costs re-ships.
-  const std::size_t invalidated = queue.sent.size() + sent_all_.size();
+  // Volatile endpoint state is lost: queued deliveries and the coverage that
+  // claimed they were scheduled. The all-recipient bound covers this
+  // recipient's wiped in-flight messages too, so it must be invalidated —
+  // conservatively for everyone, which only costs re-ships.
+  const std::size_t invalidated =
+      queue.sent.size() + sent_all_.size() + queue.scheduled.size();
   if (faults_ != nullptr) faults_->stats().watermarks_invalidated += invalidated;
   MH_OBS_COUNT("protocol.faults.watermarks_invalidated", invalidated);
-  queue.buckets.clear();
+  events_.wipe(recipient);
   queue.sent.clear();
   queue.sent_log.clear();
+  queue.scheduled.clear();
   sent_all_.clear();
 }
 
 void Network::resync_ship(const Block& block, PartyId recipient, std::size_t slot) {
-  MH_REQUIRE(recipient < parties_);
+  MH_REQUIRE_MSG(recipient < parties_,
+                 "re-sync for unknown party " + std::to_string(recipient) +
+                     " (network has " + std::to_string(parties_) + " parties)");
   push(recipient, block, slot);
-  record_recipient(recipient, block.hash, slot);
+  if (hetero_)
+    queues_[recipient].scheduled.insert(block.hash);
+  else
+    record_recipient(recipient, block.hash, slot);
   if (faults_ != nullptr) ++faults_->stats().resync_blocks;
   MH_OBS_COUNT("protocol.faults.resync_blocks", 1);
 }
@@ -283,19 +472,18 @@ std::vector<Block> Network::collect(PartyId recipient, std::size_t slot) {
 }
 
 void Network::collect_into(PartyId recipient, std::size_t slot, std::vector<Block>* out) {
-  MH_REQUIRE(recipient < parties_);
-  expire_watermarks(recipient, slot);
+  MH_REQUIRE_MSG(recipient < parties_,
+                 "collect for unknown party " + std::to_string(recipient) +
+                     " (network has " + std::to_string(parties_) + " parties)");
+  if (!hetero_) expire_watermarks(recipient, slot);
   out->clear();
-  auto& buckets = queues_[recipient].buckets;
-  while (!buckets.empty()) {
-    const auto first = buckets.begin();
-    if (first->first > slot) break;
-    if (out->empty() && first->second.size() >= out->capacity())
-      *out = std::move(first->second);
-    else
-      out->insert(out->end(), first->second.begin(), first->second.end());
-    buckets.erase(first);
-  }
+  events_.collect_due(recipient, slot, out);
+  // Gossip forwarding: every pop is this recipient's first sight of the
+  // block (the scheduled-set deduplicated earlier copies), so it relays to
+  // the neighbors that still lack it. Relay dues are >= slot + 1, so the
+  // cascade never re-enters this slot's collect.
+  if (hetero_)
+    for (const Block& block : *out) hetero_relay(recipient, block, slot);
 }
 
 }  // namespace mh

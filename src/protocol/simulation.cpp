@@ -9,17 +9,22 @@ namespace mh {
 
 Simulation::Simulation(const LeaderSchedule& schedule, SimulationConfig config,
                        std::size_t delta, Adversary* adversary,
-                       faults::FaultInjector* faults)
+                       faults::FaultInjector* faults, net::NetConfig net)
     : schedule_(schedule),
       config_(config),
-      network_(schedule.honest_parties(), delta),
+      network_(schedule.honest_parties(), delta, net),
       adversary_(adversary),
       faults_(faults),
+      hetero_(network_.heterogeneous()),
       rng_(config.seed) {
   if (faults_) {
     MH_REQUIRE_MSG(faults_->parties() == schedule.honest_parties() &&
                        faults_->horizon() == schedule.horizon(),
-                   "fault injector was validated against a different execution shape");
+                   "fault injector shaped for " + std::to_string(faults_->parties()) +
+                       " parties x " + std::to_string(faults_->horizon()) +
+                       " slots, execution has " +
+                       std::to_string(schedule.honest_parties()) + " x " +
+                       std::to_string(schedule.horizon()));
     // An empty plan is the null hypothesis: no query can ever fire, so skip
     // the per-delivery and per-slot injector consultations entirely (the E16
     // overhead gate holds the empty-plan run within 2% of the bare one).
@@ -36,7 +41,9 @@ Simulation::Simulation(const LeaderSchedule& schedule, SimulationConfig config,
 void Simulation::run() { run_until(schedule_.horizon()); }
 
 void Simulation::run_until(std::size_t slot) {
-  MH_REQUIRE(slot <= schedule_.horizon());
+  MH_REQUIRE_MSG(slot <= schedule_.horizon(),
+                 "run_until(" + std::to_string(slot) + ") is past the horizon " +
+                     std::to_string(schedule_.horizon()));
   while (next_slot_ <= slot) step();
   // Axiom A0 delivers a slot's broadcasts before the slot concludes; flush
   // everything already due at the upcoming onset so observations at the close
@@ -90,9 +97,11 @@ void Simulation::deliver_due(std::size_t slot) {
         // the network's degradation — a later unrelated crash must not excuse
         // it. The ratchet precheck keeps slot - a.slot - 1 from underflowing
         // on rushed injections.
-        if (fault_active_ && a.issuer != kAdversary && slot > a.slot + 1 + observed_delta_) {
+        if ((fault_active_ || hetero_) && a.issuer != kAdversary &&
+            slot > a.slot + 1 + observed_delta_) {
           const std::size_t raw = slot - a.slot - 1;
-          const std::size_t down = faults_->down_slots_in(node.id(), a.slot + 1, slot);
+          const std::size_t down =
+              fault_active_ ? faults_->down_slots_in(node.id(), a.slot + 1, slot) : 0;
           if (raw > down + observed_delta_) observed_delta_ = raw - down;
         }
         public_add(a);
@@ -228,6 +237,11 @@ FaultReport Simulation::fault_report() const {
   // delivered before a later crash persist in the tree, so only windows
   // intersecting down-time are excused.
   const std::size_t last_onset = next_slot_;  // deliveries are flushed up to here
+  // Heterogeneous shapes are strongly connected: non-delivery there is
+  // lateness (net_report() inflates the observed Delta for it), never an
+  // unbounded partition, and the configured-Delta window test below would
+  // misfire on legitimate multi-hop delays.
+  if (hetero_) return report;
   for (const Block& b : all_blocks_) {
     if (b.issuer == kAdversary || b.hash == genesis_block().hash) continue;
     if (b.slot + 1 + network_.delta() > last_onset) continue;  // window still open
@@ -246,10 +260,45 @@ FaultReport Simulation::fault_report() const {
   return report;
 }
 
+NetReport Simulation::net_report() const {
+  NetReport report;
+  report.heterogeneous = hetero_;
+  report.observed_delta = observed_delta_;
+  if (!hetero_) return report;
+  // Pending-delivery inflation: a block some up node has not adopted by the
+  // flushed last onset would, if adopted at the very next opportunity,
+  // realize a delay of at least `last_onset - forge slot` (minus the slots
+  // the node spent crashed). Raising the observed Delta to that floor keeps
+  // the delivery window open under the observed-Delta projection, so the
+  // grade is sound without ever being unbounded — gossip on a strongly
+  // connected topology delivers eventually; the run merely ended first.
+  const std::size_t last_onset = next_slot_;
+  for (const Block& b : all_blocks_) {
+    if (b.issuer == kAdversary || b.hash == genesis_block().hash) continue;
+    for (const HonestNode& node : nodes_) {
+      if (node.id() == b.issuer) continue;
+      if (fault_active_ && faults_->is_down(node.id(), last_onset)) continue;
+      if (node.tree().contains(b.hash)) continue;
+      const std::size_t down =
+          fault_active_ ? faults_->down_slots_in(node.id(), b.slot + 1, last_onset) : 0;
+      if (last_onset <= b.slot + down) continue;  // window effectively unopened
+      ++report.pending_inflations;
+      const std::size_t floor_delay = last_onset - b.slot - down;
+      report.observed_delta = std::max(report.observed_delta, floor_delay);
+    }
+  }
+  return report;
+}
+
 Block Simulation::mint_adversarial(BlockHash parent, std::size_t slot, std::uint64_t payload) {
-  MH_REQUIRE_MSG(schedule_.eligible(kAdversary, slot), "not an adversarial slot");
-  MH_REQUIRE_MSG(global_tree_.contains(parent), "unknown parent");
-  MH_REQUIRE_MSG(global_tree_.block(parent).slot < slot, "labels must increase along chains");
+  MH_REQUIRE_MSG(schedule_.eligible(kAdversary, slot),
+                 "slot " + std::to_string(slot) + " holds no adversarial leadership");
+  MH_REQUIRE_MSG(global_tree_.contains(parent), "unknown parent for an adversarial mint at slot " +
+                                                    std::to_string(slot));
+  MH_REQUIRE_MSG(global_tree_.block(parent).slot < slot,
+                 "labels must increase along chains: parent sits at slot " +
+                     std::to_string(global_tree_.block(parent).slot) +
+                     ", mint requested at slot " + std::to_string(slot));
   const Block block = make_block(parent, slot, kAdversary, payload);
   global_tree_.add(block);
   all_blocks_.push_back(block);
@@ -275,7 +324,8 @@ bool Simulation::observed_settlement_violation(std::size_t s) const {
 }
 
 void Simulation::watch_settlement(std::size_t s, std::size_t k) {
-  MH_REQUIRE(s >= 1 && k >= 1);
+  MH_REQUIRE_MSG(s >= 1 && k >= 1, "settlement watch needs slot >= 1 and depth >= 1, got s = " +
+                                       std::to_string(s) + ", k = " + std::to_string(k));
   watches_.push_back(Watch{s, k, false, 0, false});
 }
 

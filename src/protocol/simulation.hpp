@@ -72,14 +72,33 @@ struct FaultReport {
   faults::FaultStats stats;
 };
 
+/// What a heterogeneous (non-degenerate NetConfig) execution realized as its
+/// synchrony bound. `observed_delta` starts from the same chain-complete
+/// adoption maximum the fault layer counts; honest blocks some up node has
+/// STILL not adopted when the run ends inflate it to `last onset - forge
+/// slot - down slots` — the smallest delay a future adoption could realize —
+/// so the projection window stays open and the oracle never grades a gossip
+/// run at a synchrony it has already beaten. Multi-hop topologies therefore
+/// always grade ('d' at worst), never unbounded ('u'): every shape here is
+/// strongly connected, so non-delivery is lateness, not partition.
+struct NetReport {
+  bool heterogeneous = false;
+  std::size_t observed_delta = 0;
+  std::size_t pending_inflations = 0;  ///< (block, node) pairs still undelivered
+};
+
 class Simulation {
  public:
   /// `delta` is the network delay bound (0 = synchronous). `faults`, when
   /// non-null, perturbs the execution per its FaultPlan (the injector must
   /// outlive the Simulation); fault events apply at slot onsets, before
-  /// deliveries and forging.
+  /// deliveries and forging. `net` selects the network shape; the default is
+  /// the degenerate lockstep configuration (bit-identical to the pre-event-
+  /// core transport), anything else runs the gossip paths and tracks the
+  /// observed Delta for net_report().
   Simulation(const LeaderSchedule& schedule, SimulationConfig config, std::size_t delta,
-             Adversary* adversary, faults::FaultInjector* faults = nullptr);
+             Adversary* adversary, faults::FaultInjector* faults = nullptr,
+             net::NetConfig net = {});
 
   void run();                          ///< all slots 1..horizon
   void run_until(std::size_t slot);    ///< slots up to and including `slot`
@@ -129,6 +148,11 @@ class Simulation {
   /// runs the non-delivery sweep lazily, so call it after the run completes.
   [[nodiscard]] FaultReport fault_report() const;
 
+  /// The heterogeneous network's end-of-run audit: the observed Delta with
+  /// pending-delivery inflation (see NetReport). Trivial for degenerate
+  /// configurations; call it after the run completes.
+  [[nodiscard]] NetReport net_report() const;
+
  private:
   void step();
   void deliver_due(std::size_t slot);
@@ -161,6 +185,7 @@ class Simulation {
   Adversary* adversary_;               // may be null
   faults::FaultInjector* faults_;      // may be null (the common case)
   bool fault_active_ = false;          ///< faults_ set AND its plan non-empty
+  bool hetero_ = false;                ///< non-degenerate NetConfig attached
   std::vector<HonestNode> nodes_;
   std::size_t observed_delta_ = 0;     ///< max counted honest acceptance delay
   std::size_t leaderships_skipped_ = 0;

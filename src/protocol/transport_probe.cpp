@@ -14,7 +14,8 @@ namespace {
 template <typename MakeAdversary>
 TransportProbeOutcome run_probe(std::size_t parties, std::size_t horizon, std::uint64_t seed,
                                 std::size_t delta, MakeAdversary&& make_adversary,
-                                const faults::FaultPlan* plan = nullptr) {
+                                const faults::FaultPlan* plan = nullptr,
+                                const net::NetConfig& net = {}) {
   Rng rng(seed);
   const LeaderSchedule schedule =
       LeaderSchedule::from_symbol_law(kTransportProbeLaw, horizon, parties, rng);
@@ -22,7 +23,7 @@ TransportProbeOutcome run_probe(std::size_t parties, std::size_t horizon, std::u
   std::optional<faults::FaultInjector> injector;
   if (plan != nullptr) injector.emplace(*plan, parties, horizon);
   Simulation sim(schedule, SimulationConfig{TieBreak::AdversarialOrder, rng()}, delta,
-                 adversary.get(), injector ? &*injector : nullptr);
+                 adversary.get(), injector ? &*injector : nullptr, net);
   const auto start = std::chrono::steady_clock::now();
   sim.run();
   TransportProbeOutcome out;
@@ -38,6 +39,12 @@ TransportProbeOutcome run_probe(std::size_t parties, std::size_t horizon, std::u
   for (const HonestNode& node : sim.nodes())
     digest = fnv1a_accumulate(digest, node.best_head());
   out.digest = fnv1a_accumulate(digest, out.divergence);
+  if (net.heterogeneous()) {
+    // Fold the recovered synchrony bound too — the golden pins of the
+    // degenerate probes must NOT move, so only heterogeneous shapes add it.
+    out.observed_delta = sim.net_report().observed_delta;
+    out.digest = fnv1a_accumulate(out.digest, out.observed_delta);
+  }
   return out;
 }
 
@@ -61,6 +68,14 @@ TransportProbeOutcome randomized_transport_probe(std::size_t parties, std::size_
   return run_probe(parties, horizon, seed, delta, [](std::uint64_t adversary_seed) {
     return std::make_unique<RandomizedAdversary>(adversary_seed);
   });
+}
+
+TransportProbeOutcome hetero_transport_probe(std::size_t parties, std::size_t horizon,
+                                             std::uint64_t seed, std::size_t delta,
+                                             const net::NetConfig& net) {
+  return run_probe(parties, horizon, seed, delta,
+                   [](std::uint64_t) { return std::make_unique<BalanceAttacker>(); }, nullptr,
+                   net);
 }
 
 }  // namespace mh

@@ -15,6 +15,7 @@
 
 #include "chars/bernoulli.hpp"
 #include "protocol/faults/plan.hpp"
+#include "protocol/net/config.hpp"
 
 namespace mh {
 
@@ -40,7 +41,8 @@ struct TransportProbeOutcome {
   std::size_t horizon = 0;
   std::size_t blocks = 0;
   std::size_t divergence = 0;
-  double seconds = 0.0;  ///< wall-clock of sim.run() alone
+  std::size_t observed_delta = 0;  ///< NetReport bound (heterogeneous probes only)
+  double seconds = 0.0;            ///< wall-clock of sim.run() alone
   std::uint64_t digest = 0;
 };
 
@@ -59,5 +61,15 @@ TransportProbeOutcome faulted_balance_transport_probe(std::size_t parties, std::
 /// Randomized adversary (Delta-delays, partial leaks, orphan flushes).
 TransportProbeOutcome randomized_transport_probe(std::size_t parties, std::size_t horizon,
                                                  std::uint64_t seed, std::size_t delta);
+
+/// The balance probe on a heterogeneous network shape: the execution runs
+/// the event-core gossip paths (topology, per-link latency, bandwidth
+/// spillover) and the digest additionally folds the NetReport's observed
+/// Delta, so a change to relay order, latency draws, or the inflation rule
+/// moves the pin. A DEGENERATE `net` must reproduce balance_transport_probe
+/// bit-identically (the façade equivalence test pins this).
+TransportProbeOutcome hetero_transport_probe(std::size_t parties, std::size_t horizon,
+                                             std::uint64_t seed, std::size_t delta,
+                                             const net::NetConfig& net);
 
 }  // namespace mh

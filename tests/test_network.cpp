@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "protocol/faults/injector.hpp"
+
 namespace mh {
 namespace {
 
@@ -211,6 +213,60 @@ TEST(Network, InjectionAdvancesWatermarkOnlyWhenChainComplete) {
   due = drain(net2, 0, 4);
   ASSERT_EQ(due.size(), 1u);  // just c: the injected prefix is covered
   EXPECT_EQ(due[0].hash, c.hash);
+}
+
+TEST(Network, PerRecipientOrderIsDueThenSeqWhenEventsLandOutOfInsertionOrder) {
+  // The event core's contract is (due, seq), NOT insertion order: a later
+  // scheduling with an earlier due overtakes, and equal dues fall back to
+  // scheduling order. Adversarial injections exercise this in the degenerate
+  // configuration (honest lockstep sends alone never reorder).
+  Network net(2, 4);
+  const Block late = make_block(genesis_block().hash, 1, kAdversary, 1);
+  const Block early = make_block(genesis_block().hash, 1, kAdversary, 2);
+  const Block tied = make_block(genesis_block().hash, 1, kAdversary, 3);
+  net.inject(late, 0, 5);   // scheduled first, lands last
+  net.inject(early, 0, 2);  // overtakes with the earlier due
+  net.inject(tied, 0, 5);   // ties `late` on due: seq breaks it, in that order
+  const auto due = drain(net, 0, 6);
+  ASSERT_EQ(due.size(), 3u);
+  EXPECT_EQ(due[0].payload, 2u);
+  EXPECT_EQ(due[1].payload, 1u);
+  EXPECT_EQ(due[2].payload, 3u);
+}
+
+TEST(Network, WatermarkExpiresAtExactlyDuePlusDeltaPlusOne) {
+  // A benign link-fault window (every probability zero) perturbs nothing but
+  // keeps rounds non-uniform, so coverage lives ONLY in the per-recipient
+  // watermarks — making their expiry boundary observable: once the slot-2
+  // entry for b1 expires, a later broadcast of its child re-ships b1.
+  faults::FaultPlan plan;
+  plan.links.push_back({1, 32, 0.0, 0.0, 0.0, 0});
+  const std::size_t delta = 2;
+  const auto deliveries_after = [&](std::size_t collect_slot) {
+    faults::FaultInjector injector(plan, 2, 32);
+    Network net(2, delta);
+    net.attach_faults(&injector);
+    BlockTree tree;
+    const Block b1 = make_block(genesis_block().hash, 1, 0, 1);
+    const Block b2 = make_block(b1.hash, 2, 1, 2);
+    tree.add(b1);
+    tree.add(b2);
+    net.broadcast_chain(tree, b1, 1);       // due 2: expiry lands at 2 + delta + 1
+    (void)drain(net, 1, collect_slot);      // consumes b1; runs the expiry sweep
+    net.broadcast_chain(tree, b2, collect_slot);
+    return drain(net, 1, collect_slot + 1);
+  };
+  // Collecting at due + delta (slot 4): the watermark still answers, so the
+  // child ships alone.
+  const auto covered = deliveries_after(4);
+  ASSERT_EQ(covered.size(), 1u);
+  EXPECT_EQ(covered[0].payload, 2u);
+  // One slot later — exactly due + delta + 1 — the entry is gone and the
+  // chain sync re-ships the ancestor, ancestors-first.
+  const auto expired = deliveries_after(5);
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].payload, 1u);
+  EXPECT_EQ(expired[1].payload, 2u);
 }
 
 TEST(Network, PreservesSchedulingOrder) {
