@@ -136,18 +136,27 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng, const faults::Faul
     }
   }
 
+  detail::grade_projection(*projected_schedule, project_delta, config.target_slot, config.k,
+                           sim.all_blocks(), verdict);
+  return verdict;
+}
+
+namespace detail {
+
+void grade_projection(const LeaderSchedule& schedule, std::size_t delta,
+                      std::size_t target_slot, std::size_t k,
+                      const std::vector<Block>& blocks, RunVerdict& verdict) {
   // --- analytic side: reduce, decompose, run the Theorem-5 recurrence ------
   const AnalyticProjection view = [&] {
     MH_OBS_TIMER("oracle.phase.project");
-    AnalyticProjection v = project_schedule(*projected_schedule, project_delta,
-                                            config.target_slot);
+    AnalyticProjection v = project_schedule(schedule, delta, target_slot);
     // The margin trajectory covers every observation with at least one reduced
     // suffix symbol; when the whole confirmation window is empty the first
     // observation sees x' alone, and the allowance is the distinct-balance
     // condition on x' (Fact 6 at every divergence point).
     verdict.analytic_allows =
         margin_allows_violation(v) ||
-        (empty_observation_window(v, config.k) && prefix_admits_distinct_balance(v));
+        (empty_observation_window(v, k) && prefix_admits_distinct_balance(v));
     verdict.string_margin = v.margin.back();  // mu_{x'}(y') over the full suffix
     return v;
   }();
@@ -155,7 +164,7 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng, const faults::Faul
   // --- refinement: the execution relabels into a valid fork for w' ---------
   const Fork projected = [&] {
     MH_OBS_TIMER("oracle.phase.validate");
-    const ExecutionFork execution = fork_from_blocks(sim.all_blocks());
+    const ExecutionFork execution = fork_from_blocks(blocks);
     Fork p = project_to_synchronous(execution.fork, view.reduction.inverse);
     verdict.fork_valid = validate_fork(p, view.reduction.reduced).ok;
     return p;
@@ -166,7 +175,8 @@ RunVerdict check_execution(const RunConfig& config, Rng& rng, const faults::Faul
         relative_margin(projected, view.reduction.reduced, view.x_len);
     verdict.margin_dominated = verdict.fork_margin <= verdict.string_margin;
   }
-  return verdict;
 }
+
+}  // namespace detail
 
 }  // namespace mh::oracle

@@ -118,4 +118,17 @@ std::unique_ptr<Adversary> make_strategy(Strategy strategy, const RunConfig& con
 RunVerdict check_execution(const RunConfig& config, Rng& rng,
                            const faults::FaultPlan* plan = nullptr);
 
+namespace detail {
+/// The analytic tail shared by every oracle entry point: project `schedule`
+/// at `delta` against the target decomposition, run the Theorem-5 recurrence,
+/// relabel the execution's block set through the reduction bijection, and
+/// fill the verdict's analytic_allows / string_margin / fork_valid /
+/// fork_margin / margin_dominated fields. Factored so the epoch-driven oracle
+/// (oracle/epoch) grades its realized schedules through EXACTLY the code path
+/// the pre-drawn oracle uses — bit-identical, not merely equivalent.
+void grade_projection(const LeaderSchedule& schedule, std::size_t delta,
+                      std::size_t target_slot, std::size_t k,
+                      const std::vector<Block>& blocks, RunVerdict& verdict);
+}  // namespace detail
+
 }  // namespace mh::oracle

@@ -98,7 +98,7 @@ std::size_t FaultInjector::partitions_active(std::size_t slot) const noexcept {
   return n;
 }
 
-LeaderSchedule FaultInjector::effective_schedule(const LeaderSchedule& schedule) const {
+LeaderSchedule FaultInjector::effective_schedule(const ScheduleSource& schedule) const {
   std::vector<SlotLeaders> slots;
   slots.reserve(schedule.horizon());
   for (std::size_t t = 1; t <= schedule.horizon(); ++t) {

@@ -98,7 +98,7 @@ class FaultInjector {
   /// slot falls inside a down-window are removed (they never forge), so the
   /// characteristic string the oracle projects matches the realized block
   /// set. Adversarial leaderships are untouched.
-  [[nodiscard]] LeaderSchedule effective_schedule(const LeaderSchedule& schedule) const;
+  [[nodiscard]] LeaderSchedule effective_schedule(const ScheduleSource& schedule) const;
 
   [[nodiscard]] const FaultStats& stats() const noexcept { return stats_; }
   [[nodiscard]] FaultStats& stats() noexcept { return stats_; }

@@ -1,10 +1,17 @@
 #include "protocol/leader.hpp"
 
 #include <cmath>
+#include <cstdio>
 
+#include "protocol/consensus/leader_select.hpp"
 #include "support/check.hpp"
 
 namespace mh {
+
+const SlotLeaders& genesis_slot_leaders() noexcept {
+  static const SlotLeaders kGenesis{};
+  return kGenesis;
+}
 
 LeaderSchedule::LeaderSchedule(std::vector<SlotLeaders> slots, std::size_t honest_parties)
     : slots_(std::move(slots)), honest_parties_(honest_parties) {
@@ -15,6 +22,27 @@ namespace {
 
 PartyId random_party(std::size_t honest_parties, Rng& rng) {
   return static_cast<PartyId>(rng.below(honest_parties));
+}
+
+std::string law_text(double ph, double pH, double pA) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "law (ph=%g, pH=%g, pA=%g)", ph, pH, pA);
+  return buf;
+}
+
+/// Entry-point check shared by both generators: a law that can draw H slots
+/// needs two distinct honest parties to materialize them. Checked up front —
+/// naming the law and the party count — instead of aborting mid-generation
+/// when the first H happens to be sampled.
+void require_parties_for(double ph, double pH, double pA, std::size_t honest_parties) {
+  MH_REQUIRE_MSG(honest_parties >= 1,
+                 law_text(ph, pH, pA) + " needs at least one honest party, got 0");
+  if (pH > 0.0)
+    MH_REQUIRE_MSG(honest_parties >= 2,
+                   law_text(ph, pH, pA) +
+                       " draws multiply-honest (H) slots, which need two distinct honest "
+                       "parties; got honest_parties = " +
+                       std::to_string(honest_parties));
 }
 
 SlotLeaders materialize(TetraSymbol symbol, std::size_t honest_parties, Rng& rng) {
@@ -41,6 +69,7 @@ SlotLeaders materialize(TetraSymbol symbol, std::size_t honest_parties, Rng& rng
 LeaderSchedule LeaderSchedule::from_symbol_law(const SymbolLaw& law, std::size_t horizon,
                                                std::size_t honest_parties, Rng& rng) {
   law.validate();
+  require_parties_for(law.ph, law.pH, law.pA, honest_parties);
   std::vector<SlotLeaders> slots;
   slots.reserve(horizon);
   for (std::size_t t = 0; t < horizon; ++t) {
@@ -56,6 +85,7 @@ LeaderSchedule LeaderSchedule::from_symbol_law(const SymbolLaw& law, std::size_t
 LeaderSchedule LeaderSchedule::from_tetra_law(const TetraLaw& law, std::size_t horizon,
                                               std::size_t honest_parties, Rng& rng) {
   law.validate();
+  require_parties_for(law.ph, law.pH, law.pA, honest_parties);
   std::vector<SlotLeaders> slots;
   slots.reserve(horizon);
   for (std::size_t t = 0; t < horizon; ++t)
@@ -70,8 +100,11 @@ LeaderSchedule LeaderSchedule::praos_lottery(double f, double adversarial_stake,
   MH_REQUIRE(adversarial_stake >= 0.0 && adversarial_stake < 1.0);
   MH_REQUIRE(honest_parties >= 2);
   const double honest_share = (1.0 - adversarial_stake) / static_cast<double>(honest_parties);
-  const double p_honest = 1.0 - std::pow(1.0 - f, honest_share);
-  const double p_adv = 1.0 - std::pow(1.0 - f, adversarial_stake);
+  // phi(share) = 1 - (1-f)^share via expm1/log1p: the naive 1 - pow(...) form
+  // cancels to ~half the significant digits once share ~ 1/n is small (the
+  // 10^5-party committee regime pinned in CI).
+  const double p_honest = consensus::phi(f, honest_share);
+  const double p_adv = consensus::phi(f, adversarial_stake);
 
   std::vector<SlotLeaders> slots;
   slots.reserve(horizon);
@@ -88,13 +121,19 @@ LeaderSchedule LeaderSchedule::praos_lottery(double f, double adversarial_stake,
 TetraLaw LeaderSchedule::praos_induced_law(double f, double adversarial_stake,
                                            std::size_t honest_parties) {
   MH_REQUIRE(f > 0.0 && f < 1.0);
+  MH_REQUIRE(adversarial_stake >= 0.0 && adversarial_stake < 1.0);
+  MH_REQUIRE(honest_parties >= 1);
   const double honest_share = (1.0 - adversarial_stake) / static_cast<double>(honest_parties);
-  const double p_honest = 1.0 - std::pow(1.0 - f, honest_share);
-  const double p_adv = 1.0 - std::pow(1.0 - f, adversarial_stake);
   const double n = static_cast<double>(honest_parties);
+  // Work in log space: log(1 - p_honest) = share * log1p(-f) exactly, so the
+  // no-winner and one-winner masses never pass through the cancellation-prone
+  // p_honest representation.
+  const double log_q = honest_share * std::log1p(-f);
+  const double p_honest = -std::expm1(log_q);
+  const double p_adv = consensus::phi(f, adversarial_stake);
 
-  const double no_honest = std::pow(1.0 - p_honest, n);
-  const double one_honest = n * p_honest * std::pow(1.0 - p_honest, n - 1.0);
+  const double no_honest = std::exp(n * log_q);
+  const double one_honest = n * p_honest * std::exp((n - 1.0) * log_q);
 
   TetraLaw law;
   law.pA = p_adv;  // at least one adversarial leader, regardless of honest ones
@@ -106,7 +145,10 @@ TetraLaw LeaderSchedule::praos_induced_law(double f, double adversarial_stake,
 }
 
 const SlotLeaders& LeaderSchedule::leaders(std::size_t slot) const {
-  MH_REQUIRE_MSG(slot >= 1 && slot <= slots_.size(), "slots are 1-indexed");
+  if (slot == 0) return genesis_slot_leaders();  // genesis is not issued
+  MH_REQUIRE_MSG(slot <= slots_.size(), "slot " + std::to_string(slot) +
+                                            " is past the horizon " +
+                                            std::to_string(slots_.size()));
   return slots_[slot - 1];
 }
 

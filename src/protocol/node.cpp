@@ -5,7 +5,7 @@
 
 namespace mh {
 
-HonestNode::HonestNode(PartyId id, TieBreak rule, const LeaderSchedule* schedule)
+HonestNode::HonestNode(PartyId id, TieBreak rule, const ScheduleSource* schedule)
     : id_(id), rule_(rule), schedule_(schedule) {
   MH_REQUIRE(schedule != nullptr);
 }

@@ -10,7 +10,7 @@ namespace mh {
 
 class HonestNode {
  public:
-  HonestNode(PartyId id, TieBreak rule, const LeaderSchedule* schedule);
+  HonestNode(PartyId id, TieBreak rule, const ScheduleSource* schedule);
 
   [[nodiscard]] PartyId id() const noexcept { return id_; }
 
@@ -49,7 +49,7 @@ class HonestNode {
  private:
   PartyId id_;
   TieBreak rule_;
-  const LeaderSchedule* schedule_;
+  const ScheduleSource* schedule_;
   BlockTree tree_;
   OrphanBuffer orphans_;
 };

@@ -7,7 +7,7 @@
 
 namespace mh {
 
-Simulation::Simulation(const LeaderSchedule& schedule, SimulationConfig config,
+Simulation::Simulation(const ScheduleSource& schedule, SimulationConfig config,
                        std::size_t delta, Adversary* adversary,
                        faults::FaultInjector* faults, net::NetConfig net)
     : schedule_(schedule),
@@ -117,6 +117,12 @@ void Simulation::deliver_due(std::size_t slot) {
 void Simulation::step() {
   const std::size_t t = next_slot_++;
   MH_OBS_COUNT("protocol.sim.slots", 1);
+
+  // Epoch-driven schedules reveal their slots here: an epoch opening at slot
+  // t folds its nonce from the public chain exactly as of the previous slot's
+  // close (deliveries due at t have not landed yet). Pre-drawn schedules
+  // no-op.
+  schedule_.advance_to(t, public_tree_);
 
   // 0. Fault events land at the slot onset, BEFORE deliveries and forging: a
   //    restarted node is fully re-synced before it acts.

@@ -96,7 +96,7 @@ class Simulation {
   /// the degenerate lockstep configuration (bit-identical to the pre-event-
   /// core transport), anything else runs the gossip paths and tracks the
   /// observed Delta for net_report().
-  Simulation(const LeaderSchedule& schedule, SimulationConfig config, std::size_t delta,
+  Simulation(const ScheduleSource& schedule, SimulationConfig config, std::size_t delta,
              Adversary* adversary, faults::FaultInjector* faults = nullptr,
              net::NetConfig net = {});
 
@@ -104,7 +104,7 @@ class Simulation {
   void run_until(std::size_t slot);    ///< slots up to and including `slot`
 
   [[nodiscard]] std::size_t current_slot() const noexcept { return next_slot_ - 1; }
-  [[nodiscard]] const LeaderSchedule& schedule() const noexcept { return schedule_; }
+  [[nodiscard]] const ScheduleSource& schedule() const noexcept { return schedule_; }
   [[nodiscard]] Network& network() noexcept { return network_; }
   [[nodiscard]] const std::vector<HonestNode>& nodes() const noexcept { return nodes_; }
   [[nodiscard]] TieBreak tie_break() const noexcept { return config_.tie_break; }
@@ -179,7 +179,7 @@ class Simulation {
     bool violated = false;
   };
 
-  const LeaderSchedule& schedule_;
+  const ScheduleSource& schedule_;
   SimulationConfig config_;
   Network network_;
   Adversary* adversary_;               // may be null
